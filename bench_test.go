@@ -1,0 +1,152 @@
+// Package yhccl's benchmark suite: one testing.B benchmark per table and
+// figure of the paper's evaluation (regenerating its series through the
+// harness in internal/bench), plus direct micro-benchmarks of the core
+// collectives and the ablation studies DESIGN.md §4 calls out.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each harness benchmark reports the simulated time of the experiment's
+// headline point as "sim-us/op" next to the real wall time Go measures.
+package yhccl
+
+import (
+	"testing"
+
+	"yhccl/internal/bench"
+	"yhccl/internal/coll"
+	"yhccl/internal/memcopy"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// benchExperiment runs one harness experiment per iteration and reports
+// the simulated microseconds of its last series point.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var lastSim float64
+	for i := 0; i < b.N; i++ {
+		f, err := bench.Run(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := f.Series[0]
+		lastSim = s.Y[len(s.Y)-1]
+	}
+	b.ReportMetric(lastSim*1e6, "sim-us/op")
+}
+
+// Fig. 3: copy-out overhead vs slice size.
+func BenchmarkFig3CopyOut(b *testing.B) { benchExperiment(b, "fig3") }
+
+// Tables 1-3: DAV formula-vs-measured verification.
+func BenchmarkTable1DAVReduceScatter(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2DAVAllreduce(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkTable3DAVReduce(b *testing.B)        { benchExperiment(b, "table3") }
+
+// Table 4: sliced STREAM copy bandwidths.
+func BenchmarkTable4SlicedCopy(b *testing.B) { benchExperiment(b, "table4") }
+
+// Table 5: CMA vs adaptive-copy patterns.
+func BenchmarkTable5CMACopy(b *testing.B) { benchExperiment(b, "table5") }
+
+// Figs. 9-11: the reduction-algorithm comparisons.
+func BenchmarkFig9aReduceScatterNodeA(b *testing.B) { benchExperiment(b, "fig9a") }
+func BenchmarkFig9bReduceScatterNodeB(b *testing.B) { benchExperiment(b, "fig9b") }
+func BenchmarkFig10aReduceNodeA(b *testing.B)       { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bReduceNodeB(b *testing.B)       { benchExperiment(b, "fig10b") }
+func BenchmarkFig11aAllreduceNodeA(b *testing.B)    { benchExperiment(b, "fig11a") }
+func BenchmarkFig11bAllreduceNodeB(b *testing.B)    { benchExperiment(b, "fig11b") }
+
+// Figs. 12-14: adaptive NT-store collectives.
+func BenchmarkFig12aAdaptiveAllreduceNodeA(b *testing.B) { benchExperiment(b, "fig12a") }
+func BenchmarkFig12bAdaptiveAllreduceNodeB(b *testing.B) { benchExperiment(b, "fig12b") }
+func BenchmarkFig13aAdaptiveBcastNodeA(b *testing.B)     { benchExperiment(b, "fig13a") }
+func BenchmarkFig13bAdaptiveBcastNodeB(b *testing.B)     { benchExperiment(b, "fig13b") }
+func BenchmarkFig14aAdaptiveAllgatherNodeA(b *testing.B) { benchExperiment(b, "fig14a") }
+func BenchmarkFig14bAdaptiveAllgatherNodeB(b *testing.B) { benchExperiment(b, "fig14b") }
+
+// Fig. 15: against the state-of-the-art stand-ins.
+func BenchmarkFig15aReduceScatterVsMPIs(b *testing.B) { benchExperiment(b, "fig15a") }
+func BenchmarkFig15bReduceVsMPIs(b *testing.B)        { benchExperiment(b, "fig15b") }
+func BenchmarkFig15cAllreduceVsMPIs(b *testing.B)     { benchExperiment(b, "fig15c") }
+func BenchmarkFig15dBcastVsMPIs(b *testing.B)         { benchExperiment(b, "fig15d") }
+func BenchmarkFig15eAllgatherVsMPIs(b *testing.B)     { benchExperiment(b, "fig15e") }
+
+// Fig. 16: scalability.
+func BenchmarkFig16aSingleNodeScalability(b *testing.B) { benchExperiment(b, "fig16a") }
+func BenchmarkFig16bMultiNodeAllreduce(b *testing.B)    { benchExperiment(b, "fig16b") }
+
+// Figs. 17-18: the applications.
+func BenchmarkFig17MiniAMR(b *testing.B)           { benchExperiment(b, "fig17") }
+func BenchmarkFig18aResNet50Training(b *testing.B) { benchExperiment(b, "fig18a") }
+func BenchmarkFig18bVGG16Training(b *testing.B)    { benchExperiment(b, "fig18b") }
+
+// Ablations (DESIGN.md §4).
+func BenchmarkAblationSliceSize(b *testing.B)       { benchExperiment(b, "abl-slice") }
+func BenchmarkAblationSocketAware(b *testing.B)     { benchExperiment(b, "abl-socket") }
+func BenchmarkAblationCacheRule(b *testing.B)       { benchExperiment(b, "abl-cacherule") }
+func BenchmarkAblationSwitchThreshold(b *testing.B) { benchExperiment(b, "abl-switch") }
+func BenchmarkAblationRGDegree(b *testing.B)        { benchExperiment(b, "abl-rgdegree") }
+
+// Direct micro-benchmarks: real wall time of the simulator executing one
+// collective with real data — the engine-throughput numbers.
+
+func benchCollective(b *testing.B, p int, elems int64, alg coll.ARFunc) {
+	b.Helper()
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim = m.MustRun(func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("b/sb", elems)
+			rb := r.PersistentBuffer("b/rb", elems)
+			alg(r, r.World(), sb, rb, elems, mpi.Sum, coll.Options{})
+		})
+	}
+	b.ReportMetric(sim*1e6, "sim-us/op")
+	b.SetBytes(elems * memmodel.ElemSize)
+}
+
+func BenchmarkAllreduceYHCCL64Ranks1MB(b *testing.B) {
+	benchCollective(b, 64, 1<<17, coll.AllreduceYHCCL)
+}
+
+func BenchmarkAllreduceDPML64Ranks1MB(b *testing.B) {
+	benchCollective(b, 64, 1<<17, coll.AllreduceDPML)
+}
+
+func BenchmarkAllreduceRing64Ranks1MB(b *testing.B) {
+	benchCollective(b, 64, 1<<17, coll.AllreduceRing)
+}
+
+func BenchmarkAllreduceXPMEM64Ranks1MB(b *testing.B) {
+	benchCollective(b, 64, 1<<17, coll.AllreduceXPMEM)
+}
+
+// BenchmarkEngineOpThroughput measures raw discrete-event engine overhead:
+// ops/s of minimal Advance calls across 64 procs.
+func BenchmarkEngineOpThroughput(b *testing.B) {
+	m := mpi.NewMachine(topo.NodeA(), 64, false)
+	buf := int64(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MustRun(func(r *mpi.Rank) {
+			bbuf := r.PersistentBuffer("e/b", buf)
+			for j := 0; j < 100; j++ {
+				r.Load(bbuf, 0, buf)
+			}
+		})
+	}
+	b.SetBytes(64 * 100)
+}
+
+// BenchmarkAdaptiveCopyDecision measures the Decide fast path.
+func BenchmarkAdaptiveCopyDecision(b *testing.B) {
+	h := memcopy.Hints{NonTemporal: true, WorkSet: 1 << 30, AvailableCache: 1 << 28}
+	for i := 0; i < b.N; i++ {
+		_ = memcopy.Decide(memcopy.Adaptive, 1<<20, h)
+	}
+}

@@ -1,0 +1,478 @@
+// Command osu is an OSU-micro-benchmark-style driver for the simulated
+// collectives, mirroring the artifact's verification flow
+// ("mpiexec -n 64 ./osu_allreduce -c -m 65536:268435456").
+//
+// Usage:
+//
+//	osu -coll allreduce -np 64 -node NodeA -m 65536:268435456
+//	osu -coll reduce-scatter -alg dpml -np 48 -node NodeB -c
+//
+// -c additionally runs a data-carrying verification pass at a reduced
+// size, like the OSU -c flag.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"yhccl/internal/coll"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/sim"
+	"yhccl/internal/topo"
+)
+
+func main() {
+	var (
+		collective = flag.String("coll", "allreduce", "collective: allreduce, reduce-scatter, reduce, bcast, allgather, gather, scatter, alltoall, scan")
+		alg        = flag.String("alg", "yhccl", "algorithm name (see -algs)")
+		np         = flag.Int("np", 64, "number of ranks")
+		nodeName   = flag.String("node", "NodeA", "node preset: NodeA, NodeB, NodeC")
+		mrange     = flag.String("m", "65536:268435456", "message byte range min:max (doubling)")
+		check      = flag.Bool("c", false, "run a data verification pass first")
+		stats      = flag.Bool("stats", false, "also print DAV and DRAM-traffic columns")
+		traceFile  = flag.String("trace", "", "write a chrome://tracing JSON of the largest size's run")
+		algsFlag   = flag.Bool("algs", false, "list algorithms for -coll and exit")
+	)
+	flag.Parse()
+
+	if *algsFlag {
+		fmt.Println(strings.Join(algNames(*collective), " "))
+		return
+	}
+
+	node, err := topo.Preset(*nodeName)
+	if err != nil {
+		fatal(err)
+	}
+	lo, hi, err := parseRange(*mrange)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *check {
+		if err := verify(node, *np, *collective, *alg); err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+		fmt.Println("# verification passed")
+	}
+
+	fmt.Printf("# OSU-style %s, %s, np=%d, algorithm=%s (simulated time)\n",
+		*collective, node.Name, *np, *alg)
+	if *stats {
+		fmt.Printf("%-12s %14s %12s %12s %10s\n", "# Size", "Avg Latency(us)", "DAV(MB)", "DRAM(MB)", "syncs")
+	} else {
+		fmt.Printf("%-12s %14s\n", "# Size", "Avg Latency(us)")
+	}
+	for s := lo; s <= hi; s *= 2 {
+		trace := *traceFile != "" && s*2 > hi // only the largest size
+		t, counters, tr, err := measure(node, *np, *collective, *alg, s, trace)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Printf("%-12d %14.2f %12d %12d %10d\n",
+				s, t*1e6, counters.DAV()>>20, counters.DRAMTraffic>>20, counters.SyncCount)
+		} else {
+			fmt.Printf("%-12d %14.2f\n", s, t*1e6)
+		}
+		if tr != nil {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tr.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# trace (%d events) written to %s\n", tr.Len(), *traceFile)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "osu:", err)
+	os.Exit(1)
+}
+
+func parseRange(s string) (int64, int64, error) {
+	parts := strings.SplitN(s, ":", 2)
+	lo, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	hi := lo
+	if len(parts) == 2 {
+		hi, err = strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad range %q", s)
+		}
+	}
+	if lo < 8 || hi < lo {
+		return 0, 0, fmt.Errorf("range %q must satisfy 8 <= min <= max", s)
+	}
+	return lo, hi, nil
+}
+
+func algNames(collective string) []string {
+	switch collective {
+	case "allreduce":
+		return coll.Names(coll.AllreduceAlgos)
+	case "reduce-scatter":
+		return coll.Names(coll.ReduceScatterAlgos)
+	case "reduce":
+		return coll.Names(coll.ReduceAlgos)
+	case "bcast":
+		return coll.Names(coll.BcastAlgos)
+	case "allgather":
+		return coll.Names(coll.AllgatherAlgos)
+	case "gather":
+		return coll.Names(coll.GatherAlgos)
+	case "scatter":
+		return coll.Names(coll.ScatterAlgos)
+	case "alltoall":
+		return coll.Names(coll.AlltoallAlgos)
+	case "scan":
+		return coll.Names(coll.ScanAlgos)
+	}
+	return nil
+}
+
+// measure returns steady-state simulated seconds and the measured
+// iteration's counters at message bytes s, optionally tracing it.
+func measure(node *topo.Node, np int, collective, alg string, s int64, trace bool) (float64, memmodel.Counters, *sim.Tracer, error) {
+	m := mpi.NewMachine(node, np, false)
+	body, err := makeBody(m, collective, alg, s)
+	if err != nil {
+		return 0, memmodel.Counters{}, nil, err
+	}
+	m.MustRun(body) // warm-up
+	var tr *sim.Tracer
+	if trace {
+		tr = sim.NewTracer()
+		m.Model.SetTracer(tr)
+	}
+	before := m.Model.Counters()
+	t := m.MustRun(body)
+	m.Model.SetTracer(nil)
+	return t, m.Model.Counters().Sub(before), tr, nil
+}
+
+func makeBody(m *mpi.Machine, collective, alg string, s int64) (func(r *mpi.Rank), error) {
+	n := s / memmodel.ElemSize
+	if n < 1 {
+		n = 1
+	}
+	p := int64(m.Size())
+	switch collective {
+	case "allreduce":
+		f, err := coll.Lookup(coll.AllreduceAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("osu/sb", n)
+			rb := r.PersistentBuffer("osu/rb", n)
+			r.Warm(sb, 0, n)
+			r.Warm(rb, 0, n)
+			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+		}, nil
+	case "reduce-scatter":
+		f, err := coll.Lookup(coll.ReduceScatterAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		bn := n / p
+		if bn < 1 {
+			bn = 1
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("osu/sb", bn*p)
+			rb := r.PersistentBuffer("osu/rb", bn)
+			r.Warm(sb, 0, bn*p)
+			f(r, r.World(), sb, rb, bn, mpi.Sum, coll.Options{})
+		}, nil
+	case "reduce":
+		f, err := coll.Lookup(coll.ReduceAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("osu/sb", n)
+			rb := r.PersistentBuffer("osu/rb", n)
+			r.Warm(sb, 0, n)
+			f(r, r.World(), sb, rb, n, mpi.Sum, 0, coll.Options{})
+		}, nil
+	case "bcast":
+		f, err := coll.Lookup(coll.BcastAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			buf := r.PersistentBuffer("osu/buf", n)
+			r.Warm(buf, 0, n)
+			f(r, r.World(), buf, n, 0, coll.Options{})
+		}, nil
+	case "allgather":
+		f, err := coll.Lookup(coll.AllgatherAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("osu/sb", n)
+			rb := r.PersistentBuffer("osu/rb", n*p)
+			r.Warm(sb, 0, n)
+			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+		}, nil
+	case "gather":
+		f, err := coll.Lookup(coll.GatherAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("osu/sb", n)
+			rb := r.PersistentBuffer("osu/rb", n*p)
+			r.Warm(sb, 0, n)
+			f(r, r.World(), sb, rb, n, 0, coll.Options{})
+		}, nil
+	case "scatter":
+		f, err := coll.Lookup(coll.ScatterAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("osu/sb", n*p)
+			rb := r.PersistentBuffer("osu/rb", n)
+			if r.ID() == 0 {
+				r.Warm(sb, 0, n*p)
+			}
+			f(r, r.World(), sb, rb, n, 0, coll.Options{})
+		}, nil
+	case "alltoall":
+		f, err := coll.Lookup(coll.AlltoallAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("osu/sb", n*p)
+			rb := r.PersistentBuffer("osu/rb", n*p)
+			r.Warm(sb, 0, n*p)
+			f(r, r.World(), sb, rb, n, coll.Options{})
+		}, nil
+	case "scan":
+		f, err := coll.Lookup(coll.ScanAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("osu/sb", n)
+			rb := r.PersistentBuffer("osu/rb", n)
+			r.Warm(sb, 0, n)
+			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown collective %q", collective)
+}
+
+// verify runs the collective with real data at a small size and checks the
+// result element-wise.
+func verify(node *topo.Node, np int, collective, alg string) error {
+	const n = 1024
+	m := mpi.NewMachine(node, np, true)
+	var failure error
+	p := np
+	expectSum := func(i int64) float64 {
+		return float64(p)*float64(i) + float64(p*(p-1))/2
+	}
+	body, err := makeVerifyBody(m, collective, alg, n, expectSum, &failure)
+	if err != nil {
+		return err
+	}
+	m.MustRun(body)
+	return failure
+}
+
+func makeVerifyBody(m *mpi.Machine, collective, alg string, n int64,
+	expectSum func(i int64) float64, failure *error) (func(r *mpi.Rank), error) {
+	p := int64(m.Size())
+	fail := func(format string, args ...interface{}) {
+		if *failure == nil {
+			*failure = fmt.Errorf(format, args...)
+		}
+	}
+	switch collective {
+	case "allreduce":
+		f, err := coll.Lookup(coll.AllreduceAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.NewBuffer("v/sb", n)
+			rb := r.NewBuffer("v/rb", n)
+			r.FillPattern(sb, float64(r.ID()))
+			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			for i := int64(0); i < n; i += 17 {
+				if got := rb.Slice(i, 1)[0]; got != expectSum(i) {
+					fail("rank %d rb[%d] = %v, want %v", r.ID(), i, got, expectSum(i))
+					return
+				}
+			}
+		}, nil
+	case "reduce-scatter":
+		f, err := coll.Lookup(coll.ReduceScatterAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.NewBuffer("v/sb", n*p)
+			rb := r.NewBuffer("v/rb", n)
+			r.FillPattern(sb, float64(r.ID()))
+			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			for i := int64(0); i < n; i += 17 {
+				want := expectSum(int64(r.ID())*n + i)
+				if got := rb.Slice(i, 1)[0]; got != want {
+					fail("rank %d rb[%d] = %v, want %v", r.ID(), i, got, want)
+					return
+				}
+			}
+		}, nil
+	case "reduce":
+		f, err := coll.Lookup(coll.ReduceAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.NewBuffer("v/sb", n)
+			rb := r.NewBuffer("v/rb", n)
+			r.FillPattern(sb, float64(r.ID()))
+			f(r, r.World(), sb, rb, n, mpi.Sum, 0, coll.Options{})
+			if r.ID() == 0 {
+				for i := int64(0); i < n; i += 17 {
+					if got := rb.Slice(i, 1)[0]; got != expectSum(i) {
+						fail("root rb[%d] = %v, want %v", i, got, expectSum(i))
+						return
+					}
+				}
+			}
+		}, nil
+	case "bcast":
+		f, err := coll.Lookup(coll.BcastAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			buf := r.NewBuffer("v/buf", n)
+			if r.ID() == 0 {
+				r.FillPattern(buf, 777)
+			}
+			f(r, r.World(), buf, n, 0, coll.Options{})
+			for i := int64(0); i < n; i += 17 {
+				if got := buf.Slice(i, 1)[0]; got != 777+float64(i) {
+					fail("rank %d buf[%d] = %v", r.ID(), i, got)
+					return
+				}
+			}
+		}, nil
+	case "allgather":
+		f, err := coll.Lookup(coll.AllgatherAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.NewBuffer("v/sb", n)
+			rb := r.NewBuffer("v/rb", n*p)
+			r.FillPattern(sb, float64(r.ID()*100000))
+			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			for b := int64(0); b < p; b++ {
+				for i := int64(0); i < n; i += 111 {
+					want := float64(b*100000) + float64(i)
+					if got := rb.Slice(b*n+i, 1)[0]; got != want {
+						fail("rank %d rb[%d][%d] = %v, want %v", r.ID(), b, i, got, want)
+						return
+					}
+				}
+			}
+		}, nil
+	case "gather":
+		f, err := coll.Lookup(coll.GatherAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.NewBuffer("v/sb", n)
+			rb := r.NewBuffer("v/rb", n*p)
+			r.FillPattern(sb, float64(r.ID()*100000))
+			f(r, r.World(), sb, rb, n, 0, coll.Options{})
+			if r.ID() == 0 {
+				for b := int64(0); b < p; b++ {
+					if got := rb.Slice(b*n, 1)[0]; got != float64(b*100000) {
+						fail("gather rb[%d] = %v", b, got)
+						return
+					}
+				}
+			}
+		}, nil
+	case "scatter":
+		f, err := coll.Lookup(coll.ScatterAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.NewBuffer("v/sb", n*p)
+			rb := r.NewBuffer("v/rb", n)
+			if r.ID() == 0 {
+				r.FillPattern(sb, 0)
+			}
+			f(r, r.World(), sb, rb, n, 0, coll.Options{})
+			me := int64(r.ID())
+			if got := rb.Slice(0, 1)[0]; got != float64(me*n) {
+				fail("scatter rank %d rb[0] = %v, want %v", r.ID(), got, me*n)
+			}
+		}, nil
+	case "scan":
+		f, err := coll.Lookup(coll.ScanAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.NewBuffer("v/sb", n)
+			rb := r.NewBuffer("v/rb", n)
+			r.FillPattern(sb, float64(r.ID()))
+			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			me := r.ID()
+			want := float64(me+1)*5 + float64(me*(me+1))/2
+			if got := rb.Slice(5, 1)[0]; got != want {
+				fail("scan rank %d rb[5] = %v, want %v", me, got, want)
+			}
+		}, nil
+	case "alltoall":
+		f, err := coll.Lookup(coll.AlltoallAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.NewBuffer("v/sb", n*p)
+			rb := r.NewBuffer("v/rb", n*p)
+			data := sb.Slice(0, n*p)
+			for j := int64(0); j < p; j++ {
+				for i := int64(0); i < n; i++ {
+					data[j*n+i] = float64(r.ID())*1e6 + float64(j)*1e3
+				}
+			}
+			f(r, r.World(), sb, rb, n, coll.Options{})
+			for j := int64(0); j < p; j++ {
+				want := float64(j)*1e6 + float64(r.ID())*1e3
+				if got := rb.Slice(j*n, 1)[0]; got != want {
+					fail("alltoall rank %d rb[%d] = %v, want %v", r.ID(), j, got, want)
+					return
+				}
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown collective %q", collective)
+}

@@ -1,0 +1,58 @@
+// Command yhcclbench regenerates the paper's tables and figures from the
+// simulated machines.
+//
+// Usage:
+//
+//	yhcclbench -list                 # show all experiment ids
+//	yhcclbench -exp fig9a            # regenerate one experiment
+//	yhcclbench -exp all              # regenerate everything (slow)
+//	yhcclbench -exp fig11a -quick    # 3-point sweep instead of 13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"yhccl/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		quick = flag.Bool("quick", false, "trimmed sweeps for smoke runs")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		desc := bench.Describe()
+		fmt.Println("experiments:")
+		for _, id := range bench.IDs() {
+			fmt.Printf("  %-14s %s\n", id, desc[id])
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nselect one with -exp <id> (or -exp all)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		fig, err := bench.Run(id, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yhcclbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fig.FprintCSV(os.Stdout)
+		} else {
+			fig.Fprint(os.Stdout)
+		}
+	}
+}

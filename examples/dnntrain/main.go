@@ -1,0 +1,40 @@
+// DNN training: the paper's Fig. 18 workload — data-parallel CNN training
+// on Cluster C, ResNet-50 and VGG-16, Open MPI vs YHCCL gradient
+// all-reduce. Also runs a real miniature SGD through the actual collective
+// to validate numerics.
+package main
+
+import (
+	"fmt"
+
+	"yhccl/internal/apps/dnn"
+	"yhccl/internal/cluster"
+	"yhccl/internal/coll"
+	"yhccl/internal/topo"
+)
+
+func main() {
+	for _, model := range []dnn.Model{dnn.ResNet50(), dnn.VGG16()} {
+		fmt.Printf("%s (%d M parameters)\n", model.Name, model.Params/1_000_000)
+		fmt.Printf("  %-7s %14s %14s %9s\n", "nodes", "OpenMPI img/s", "YHCCL img/s", "speedup")
+		for _, nodes := range []int{1, 4, 16, 64, 256} {
+			cfg := dnn.DefaultConfig(nodes)
+			open, err := dnn.Throughput(cfg, model, cluster.FlatRing)
+			if err != nil {
+				panic(err)
+			}
+			yh, err := dnn.Throughput(cfg, model, cluster.YHCCLHierarchical)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %-7d %14.1f %14.1f %8.2fx\n",
+				nodes, open.ImagesPerSecond, yh.ImagesPerSecond,
+				yh.ImagesPerSecond/open.ImagesPerSecond)
+		}
+		fmt.Println()
+	}
+
+	losses := dnn.TrainValidation(topo.NodeC(), 8, 40, coll.AllreduceYHCCL)
+	fmt.Printf("validation SGD through the real collective: loss %.1f -> %.4f over %d steps\n",
+		losses[0], losses[len(losses)-1], len(losses))
+}

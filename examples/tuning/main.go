@@ -1,0 +1,65 @@
+// Tuning: explore the adaptive-copy decision surface (Algorithm 1) — for
+// each copy policy, sweep the message size through the W > C switch point
+// and show where the NT stores start paying off, plus the analytically
+// predicted switch point.
+package main
+
+import (
+	"fmt"
+
+	"yhccl"
+)
+
+func main() {
+	node := yhccl.NodeA()
+	const p = 64
+
+	// The socket-aware MA all-reduce working set is W = 2sp + m*p*Imax;
+	// solving W > C gives the message size where adaptive-copy starts
+	// using NT stores.
+	imax := int64(256 << 10)
+	C := node.AvailableCache(p)
+	switchBytes := (C - int64(node.Sockets)*int64(p)*imax) / int64(2*p)
+	fmt.Printf("%s: available cache C = %d MB, predicted NT switch at %d KB\n\n",
+		node.Name, C>>20, switchBytes>>10)
+
+	policies := []struct {
+		name string
+		pol  yhccl.Policy
+	}{
+		{"adaptive", yhccl.Adaptive},
+		{"t-copy", yhccl.TCopy},
+		{"nt-copy", yhccl.NTCopy},
+		{"memmove", yhccl.Memmove},
+	}
+
+	fmt.Printf("%-9s", "msg")
+	for _, pp := range policies {
+		fmt.Printf(" %10s", pp.name)
+	}
+	fmt.Println(" (all-reduce us, NodeA p=64)")
+
+	for s := int64(512 << 10); s <= 16<<20; s *= 2 {
+		n := s / 8
+		fmt.Printf("%6dKB ", s>>10)
+		for _, pp := range policies {
+			o := yhccl.Options{}.WithPolicy(pp.pol)
+			m := yhccl.NewMachine(node, p, false)
+			run := func() float64 {
+				return m.MustRun(func(r *yhccl.Rank) {
+					sb := r.PersistentBuffer("sb", n)
+					rb := r.PersistentBuffer("rb", n)
+					r.Warm(sb, 0, n)
+					r.Warm(rb, 0, n)
+					if err := yhccl.AllreduceAlg("socket-ma", r, sb, rb, n, yhccl.Sum, o); err != nil {
+						panic(err)
+					}
+				})
+			}
+			run()
+			fmt.Printf(" %9.0fu", run()*1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nadaptive follows t-copy below the switch and nt-copy above it")
+}

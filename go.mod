@@ -1,0 +1,3 @@
+module yhccl
+
+go 1.22

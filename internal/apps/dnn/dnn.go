@@ -1,0 +1,175 @@
+// Package dnn models the paper's distributed CNN-training workload (§5.6,
+// Fig. 18): data-parallel SGD over Horovod-style all-reduce of gradients
+// on Cluster C (24 weak Xeon cores per node), for ResNet-50 (25.6 M
+// parameters) and VGG-16 (138.4 M parameters).
+//
+// Per training step every worker computes forward+backward on its
+// micro-batch, then the gradients are all-reduced. YHCCL's hierarchical
+// all-reduce lets the inter-node phase overlap with the next step's
+// computation (the paper: "our optimization in hiding communication with
+// computation for inter-node all reduce"); the baseline pays compute plus
+// communication serially. A tiny real SGD on a synthetic least-squares
+// model validates numerics through the actual collective.
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"yhccl/internal/cluster"
+	"yhccl/internal/coll"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// Model describes a CNN for throughput purposes.
+type Model struct {
+	// Name labels the model.
+	Name string
+	// Params is the parameter count (gradient elements, float32 on the
+	// wire: Params*4 bytes per all-reduce).
+	Params int64
+	// TrainFlopsPerImage is forward+backward FLOPs per image.
+	TrainFlopsPerImage float64
+	// GEMMEfficiency scales the sustained per-core FLOP rate: VGG's large
+	// dense convolutions run far closer to GEMM peak on CPUs than
+	// ResNet's small and 1x1 kernels.
+	GEMMEfficiency float64
+}
+
+// ResNet50 is the paper's 25.6 M-parameter model.
+func ResNet50() Model {
+	return Model{Name: "ResNet-50", Params: 25_600_000, TrainFlopsPerImage: 3 * 3.9e9, GEMMEfficiency: 1.0}
+}
+
+// VGG16 is the paper's 138.4 M-parameter model.
+func VGG16() Model {
+	return Model{Name: "VGG-16", Params: 138_400_000, TrainFlopsPerImage: 3 * 15.5e9, GEMMEfficiency: 3.3}
+}
+
+// Config describes the training setup.
+type Config struct {
+	// Node is the per-node hardware (Cluster C).
+	Node *topo.Node
+	// Nodes is the node count (1-256 in Fig. 18).
+	Nodes int
+	// PerNode is workers per node (24).
+	PerNode int
+	// Net is the fabric.
+	Net cluster.Network
+	// BatchPerWorker is images per worker per step.
+	BatchPerWorker int
+	// CoreGFLOPS is the sustained per-core training throughput in GFLOP/s
+	// (weak Ivy Bridge cores running im2col GEMMs).
+	CoreGFLOPS float64
+	// TensorBuckets is the number of fused gradient buffers Horovod
+	// exchanges per step (tensor fusion leaves tens of buckets, each
+	// paying full collective latency).
+	TensorBuckets int
+}
+
+// DefaultConfig is the Fig. 18 setup at the given node count.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Node:           topo.NodeC(),
+		Nodes:          nodes,
+		PerNode:        24,
+		Net:            cluster.IB56(),
+		BatchPerWorker: 4,
+		CoreGFLOPS:     12,
+		TensorBuckets:  64,
+	}
+}
+
+// Result is the outcome of a throughput evaluation.
+type Result struct {
+	// Nodes echoes the configuration.
+	Nodes int
+	// ImagesPerSecond is the aggregate training throughput.
+	ImagesPerSecond float64
+	// StepTime is seconds per training step.
+	StepTime float64
+	// ComputeTime and CommTime are its components (CommTime is the
+	// exposed, non-overlapped part).
+	ComputeTime, CommTime float64
+}
+
+// Throughput evaluates the training throughput of the model under the
+// given all-reduce composition.
+func Throughput(cfg Config, model Model, alg cluster.Algorithm) (Result, error) {
+	if cfg.Nodes <= 0 || cfg.PerNode <= 0 || cfg.BatchPerWorker <= 0 {
+		return Result{}, fmt.Errorf("dnn: invalid config %+v", cfg)
+	}
+	cl := cluster.New(cfg.Node, cfg.Nodes, cfg.PerNode, cfg.Net)
+	// Gradients are float32: bytes = 4*Params; our element unit is 8 bytes.
+	gradElems := ceilDiv(model.Params*4, memmodel.ElemSize)
+	comm, err := cl.AllreduceTimeTensors(alg, gradElems, cfg.TensorBuckets)
+	if err != nil {
+		return Result{}, err
+	}
+	compute := float64(cfg.BatchPerWorker) * model.TrainFlopsPerImage / (cfg.CoreGFLOPS * model.GEMMEfficiency * 1e9)
+
+	var step float64
+	var exposed float64
+	if alg == cluster.YHCCLHierarchical {
+		// Gradient all-reduce overlaps with the next step's backward pass
+		// (Horovod's tensor-fusion pipeline): only the excess is exposed.
+		exposed = math.Max(0, comm-0.9*compute)
+	} else {
+		exposed = comm
+	}
+	step = compute + exposed
+
+	workers := float64(cfg.Nodes * cfg.PerNode)
+	return Result{
+		Nodes:           cfg.Nodes,
+		ImagesPerSecond: workers * float64(cfg.BatchPerWorker) / step,
+		StepTime:        step,
+		ComputeTime:     compute,
+		CommTime:        exposed,
+	}, nil
+}
+
+// TrainValidation runs a tiny real data-parallel gradient descent
+// (least-squares fit of w to the target [1..dim], the loss sharded across
+// workers) through the actual intra-node collective and returns the
+// per-step losses, which must decrease monotonically and be identical
+// across algorithm choices.
+func TrainValidation(node *topo.Node, p int, steps int, alg coll.ARFunc) []float64 {
+	const dim = 64
+	m := mpi.NewMachine(node, p, true)
+	losses := make([]float64, steps)
+	m.MustRun(func(r *mpi.Rank) {
+		w := make([]float64, dim) // replicated weights
+		grad := r.NewBuffer("grad", dim)
+		gsum := r.NewBuffer("gsum", dim)
+		// Worker r owns the loss terms of coordinates congruent to r mod p:
+		// L_r(w) = sum_i (w[i] - (i+1))^2 over its shard; the global loss is
+		// the all-reduced sum, the global gradient likewise.
+		lr := 0.2
+		for s := 0; s < steps; s++ {
+			gv := grad.Slice(0, dim)
+			loss := 0.0
+			for i := 0; i < dim; i++ {
+				gv[i] = 0
+				if i%p == r.ID() {
+					diff := w[i] - float64(i+1)
+					loss += diff * diff
+					gv[i] = 2 * diff
+				}
+			}
+			alg(r, r.World(), grad, gsum, dim, mpi.Sum, coll.Options{})
+			sv := gsum.Slice(0, dim)
+			for i := 0; i < dim; i++ {
+				w[i] -= lr * sv[i]
+			}
+			if r.ID() == 0 {
+				losses[s] = loss
+			}
+		}
+	})
+	return losses
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

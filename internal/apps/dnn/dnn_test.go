@@ -1,0 +1,101 @@
+package dnn
+
+import (
+	"testing"
+
+	"yhccl/internal/cluster"
+	"yhccl/internal/coll"
+	"yhccl/internal/topo"
+)
+
+func TestModelCards(t *testing.T) {
+	if ResNet50().Params != 25_600_000 {
+		t.Error("ResNet-50 parameter count")
+	}
+	if VGG16().Params != 138_400_000 {
+		t.Error("VGG-16 parameter count")
+	}
+}
+
+func TestThroughputPositiveAndScales(t *testing.T) {
+	for _, model := range []Model{ResNet50(), VGG16()} {
+		r1, err := Throughput(DefaultConfig(1), model, cluster.YHCCLHierarchical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r64, err := Throughput(DefaultConfig(64), model, cluster.YHCCLHierarchical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.ImagesPerSecond <= 0 {
+			t.Fatalf("%s: degenerate throughput", model.Name)
+		}
+		if r64.ImagesPerSecond < 8*r1.ImagesPerSecond {
+			t.Errorf("%s: poor scaling %f -> %f img/s", model.Name, r1.ImagesPerSecond, r64.ImagesPerSecond)
+		}
+	}
+}
+
+func TestYHCCLImprovesThroughput(t *testing.T) {
+	// Fig. 18: 1.8-2.0x at scale; smaller but real gains at few nodes.
+	for _, model := range []Model{ResNet50(), VGG16()} {
+		for _, nodes := range []int{2, 16, 256} {
+			cfg := DefaultConfig(nodes)
+			y, err := Throughput(cfg, model, cluster.YHCCLHierarchical)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o, err := Throughput(cfg, model, cluster.FlatRing)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := y.ImagesPerSecond / o.ImagesPerSecond
+			if sp <= 1 {
+				t.Errorf("%s nodes=%d: YHCCL speedup %.2fx <= 1", model.Name, nodes, sp)
+			}
+			if sp > 3 {
+				t.Errorf("%s nodes=%d: speedup %.2fx implausible", model.Name, nodes, sp)
+			}
+		}
+	}
+}
+
+func TestSpeedupAtScaleMatchesPaperBand(t *testing.T) {
+	// 256 nodes x 24 = 6144 cores: paper reports 1.94x (ResNet-50) and
+	// 1.80x (VGG-16); accept the 1.5-2.4 band.
+	for _, model := range []Model{ResNet50(), VGG16()} {
+		cfg := DefaultConfig(256)
+		y, _ := Throughput(cfg, model, cluster.YHCCLHierarchical)
+		o, _ := Throughput(cfg, model, cluster.FlatRing)
+		sp := y.ImagesPerSecond / o.ImagesPerSecond
+		if sp < 1.5 || sp > 2.4 {
+			t.Errorf("%s: speedup at 256 nodes = %.2fx, want ~1.8-2.0x", model.Name, sp)
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.BatchPerWorker = 0
+	if _, err := Throughput(cfg, ResNet50(), cluster.YHCCLHierarchical); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTrainValidationConverges(t *testing.T) {
+	losses := TrainValidation(topo.NodeC(), 4, 60, coll.AllreduceYHCCL)
+	if losses[0] <= losses[len(losses)-1]*1.5 {
+		t.Fatalf("SGD did not converge: first %.4g last %.4g", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestTrainValidationAlgorithmInvariant(t *testing.T) {
+	a := TrainValidation(topo.NodeC(), 4, 25, coll.AllreduceYHCCL)
+	b := TrainValidation(topo.NodeC(), 4, 25, coll.AllreduceCMA)
+	c := TrainValidation(topo.NodeC(), 4, 25, coll.AllreduceRing)
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("step %d: losses diverge across collectives: %v %v %v", i, a[i], b[i], c[i])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package miniamr
+
+import (
+	"testing"
+
+	"yhccl/internal/cluster"
+)
+
+func smallConfig(nodes int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.Timesteps = 3
+	cfg.GridDim = 6
+	return cfg
+}
+
+func TestRunProducesResult(t *testing.T) {
+	res, err := Run(smallConfig(1), cluster.YHCCLHierarchical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 || res.ComputeTime <= 0 || res.CommTime <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := smallConfig(1)
+	cfg.Timesteps = 0
+	if _, err := Run(cfg, cluster.YHCCLHierarchical); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestYHCCLBeatsLeaderRingEverywhere(t *testing.T) {
+	// Fig. 17's shape: YHCCL total time below Open MPI (CMA leader ring)
+	// at every node count, speedup between ~1.1x and ~2x.
+	for _, nodes := range []int{1, 4, 16, 64} {
+		cfg := smallConfig(nodes)
+		y, err := Run(cfg, cluster.YHCCLHierarchical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := Run(cfg, cluster.LeaderRing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y.TotalTime >= o.TotalTime {
+			t.Errorf("nodes=%d: YHCCL %.3g >= OpenMPI %.3g", nodes, y.TotalTime, o.TotalTime)
+		}
+		if sp := o.TotalTime / y.TotalTime; sp > 2.5 {
+			t.Errorf("nodes=%d: speedup %.2fx implausible", nodes, sp)
+		}
+	}
+}
+
+func TestTotalTimeGrowsWithNodes(t *testing.T) {
+	t1, _ := Run(smallConfig(1), cluster.YHCCLHierarchical)
+	t64, _ := Run(smallConfig(64), cluster.YHCCLHierarchical)
+	if t64.TotalTime <= t1.TotalTime {
+		t.Errorf("weak-scaling total should grow: %.3g vs %.3g", t64.TotalTime, t1.TotalTime)
+	}
+}
+
+func TestChecksumIdenticalAcrossAlgorithms(t *testing.T) {
+	// The refinement numerics must not depend on which collective ran.
+	cfg := smallConfig(1)
+	y, _ := Run(cfg, cluster.YHCCLHierarchical)
+	o, _ := Run(cfg, cluster.LeaderRing)
+	if y.Checksum != o.Checksum {
+		t.Fatalf("checksums differ: %v vs %v", y.Checksum, o.Checksum)
+	}
+	if y.Checksum == 0 {
+		t.Fatal("checksum degenerate")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, _ := Run(smallConfig(4), cluster.YHCCLHierarchical)
+	b, _ := Run(smallConfig(4), cluster.YHCCLHierarchical)
+	if a.TotalTime != b.TotalTime || a.Checksum != b.Checksum {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

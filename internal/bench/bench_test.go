@@ -1,0 +1,386 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"yhccl/internal/topo"
+)
+
+// figCache memoizes quick-mode experiment results: runs are deterministic,
+// and several tests inspect the same figure.
+var figCache = map[string]*Figure{}
+
+// get runs an experiment in quick mode (cached) and fails the test on
+// error.
+func get(t *testing.T, id string) *Figure {
+	t.Helper()
+	if f, ok := figCache[id]; ok {
+		return f
+	}
+	f, err := Run(id, true)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	figCache[id] = f
+	return f
+}
+
+// at returns series value or fails.
+func at(t *testing.T, f *Figure, name string, i int) float64 {
+	t.Helper()
+	v, ok := f.Value(name, i)
+	if !ok {
+		t.Fatalf("%s: missing series %q point %d", f.ID, name, i)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "table1", "table2", "table3", "table4", "table5",
+		"fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b",
+		"fig12a", "fig12b", "fig13a", "fig13b", "fig14a", "fig14b",
+		"fig15a", "fig15b", "fig15c", "fig15d", "fig15e",
+		"fig16a", "fig16b", "fig17", "fig18a", "fig18b",
+		"abl-slice", "abl-socket", "abl-cacherule", "abl-switch", "abl-rgdegree",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(Describe()) != len(IDs()) {
+		t.Error("Describe incomplete")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", true); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFig9SocketMAWinsLarge(t *testing.T) {
+	f := get(t, "fig9a")
+	last := len(f.XValues) - 1 // 8 MB in quick mode
+	ours := at(t, f, "Socket-aware MA (ours)", last)
+	for _, base := range []string{"DPML", "Ring", "Rabenseifner"} {
+		if v := at(t, f, base, last); v <= ours {
+			t.Errorf("fig9a large: %s (%.3g) should be slower than socket-MA (%.3g)", base, v, ours)
+		}
+	}
+	// The paper's band: ~1.8-4.2x average speedup on large messages.
+	if sp := at(t, f, "DPML", last) / ours; sp < 1.5 || sp > 8 {
+		t.Errorf("fig9a: DPML speedup %.2fx out of the plausible band", sp)
+	}
+}
+
+func TestFig9AverageGainsOverDPML(t *testing.T) {
+	// The paper reports average large-message speedups over DPML on both
+	// nodes (4.18x NodeA, 2.21x NodeB). We assert real average gains on
+	// both; the exact NodeA/NodeB ordering depends on where in the sweep
+	// the cache-capacity crossovers fall.
+	fa, fb := get(t, "fig9a"), get(t, "fig9b")
+	gain := func(f *Figure) float64 {
+		// Geometric mean of DPML/socket-MA over the >=2MB points (the
+		// paper's averages cover the large-message regime).
+		prod, cnt := 1.0, 0
+		for i, x := range f.XValues {
+			if x < 2<<20 {
+				continue
+			}
+			prod *= at(t, f, "DPML", i) / at(t, f, "Socket-aware MA (ours)", i)
+			cnt++
+		}
+		return math.Pow(prod, 1/float64(cnt))
+	}
+	spA, spB := gain(fa), gain(fb)
+	if spB <= 1 {
+		t.Errorf("fig9b: no average gain over DPML (%.2fx)", spB)
+	}
+	if spA <= 1 {
+		t.Errorf("fig9a: no average gain over DPML (%.2fx)", spA)
+	}
+}
+
+func TestFig10And11OursWinLarge(t *testing.T) {
+	for _, id := range []string{"fig10a", "fig11a"} {
+		f := get(t, id)
+		last := len(f.XValues) - 1
+		ours := at(t, f, "Socket-aware MA (ours)", last)
+		for _, s := range f.Series {
+			if s.Name == "Socket-aware MA (ours)" || s.Name == "MA (ours)" {
+				continue
+			}
+			if s.Y[last] <= ours {
+				t.Errorf("%s large: %s (%.3g) should be slower than socket-MA (%.3g)", id, s.Name, s.Y[last], ours)
+			}
+		}
+	}
+}
+
+func TestFig12AdaptiveShape(t *testing.T) {
+	// The paper's Fig. 12 shape: adaptive == t-copy on small messages
+	// (both all-temporal), decisively beats t-copy and memmove on large
+	// messages, and tracks nt-copy within a small margin at large sizes
+	// (see EXPERIMENTS.md on the copy-in RFO pipeline artifact).
+	f := get(t, "fig12a")
+	small, large := 0, len(f.XValues)-1
+	aS := at(t, f, "YHCCL (adaptive)", small)
+	if tS := at(t, f, "t-copy", small); aS != tS {
+		t.Errorf("fig12a small: adaptive (%.4g) should equal t-copy (%.4g)", aS, tS)
+	}
+	if ntS := at(t, f, "nt-copy", small); aS >= ntS {
+		t.Errorf("fig12a small: adaptive (%.4g) should beat nt-copy (%.4g)", aS, ntS)
+	}
+	aL := at(t, f, "YHCCL (adaptive)", large)
+	if tL := at(t, f, "t-copy", large); tL/aL < 1.1 {
+		t.Errorf("fig12a large: adaptive gains only %.2fx over t-copy", tL/aL)
+	}
+	if mmL := at(t, f, "Memmove", large); mmL/aL < 1.1 {
+		t.Errorf("fig12a large: adaptive gains only %.2fx over memmove", mmL/aL)
+	}
+	if ntL := at(t, f, "nt-copy", large); aL > ntL*1.15 {
+		t.Errorf("fig12a large: adaptive (%.4g) strays >15%% from nt-copy (%.4g)", aL, ntL)
+	}
+}
+
+func TestFig13Fig14AdaptiveWinsLarge(t *testing.T) {
+	for _, id := range []string{"fig13a", "fig14a"} {
+		f := get(t, id)
+		last := len(f.XValues) - 1
+		a := at(t, f, "YHCCL (adaptive)", last)
+		if v := at(t, f, "t-copy", last); v <= a {
+			t.Errorf("%s: t-copy (%.4g) should lose to adaptive (%.4g) on large", id, v, a)
+		}
+		if v := at(t, f, "Memmove", last); a > v*1.001 {
+			t.Errorf("%s: adaptive (%.4g) should not lose to memmove (%.4g)", id, a, v)
+		}
+	}
+}
+
+func TestFig15YHCCLWinsLargeAllreduce(t *testing.T) {
+	f := get(t, "fig15c")
+	last := len(f.XValues) - 1
+	ours := at(t, f, "YHCCL", last)
+	slower := 0
+	for _, s := range f.Series {
+		if s.Name == "YHCCL" {
+			continue
+		}
+		sp := s.Y[last] / ours
+		if sp > 1 {
+			slower++
+		}
+		if sp > 15 {
+			t.Errorf("fig15c: speedup vs %s = %.1fx implausible", s.Name, sp)
+		}
+	}
+	if slower < len(f.Series)-2 {
+		t.Errorf("fig15c large: YHCCL should beat nearly all stand-ins, beat only %d", slower)
+	}
+}
+
+func TestFig3SmallSlicesSlower(t *testing.T) {
+	f := get(t, "fig3")
+	y := f.Series[0].Y
+	// Slices: 256K, 512K, 1M, 2M, 4M. The 2 MB point (memmove NT kicks in)
+	// must be clearly faster than the 256 KB point.
+	if y[0] <= y[3] {
+		t.Errorf("fig3: 256 KB slices (%.4g) should be slower than 2 MB (%.4g)", y[0], y[3])
+	}
+	if ratio := y[0] / y[3]; ratio < 1.2 {
+		t.Errorf("fig3: small-slice penalty only %.2fx, want >= 1.2x", ratio)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	f := get(t, "table4")
+	nt := f.find("nt-copy").Y
+	tc := f.find("t-copy").Y
+	mm := f.find("memmove").Y
+	// 512 KB row: nt >> t, memmove ~ t.
+	if nt[0] <= tc[0]*1.3 {
+		t.Errorf("table4 @512KB: nt (%.3g) should be ~1.5x t-copy (%.3g)", nt[0], tc[0])
+	}
+	if rel := mm[0] / tc[0]; rel < 0.9 || rel > 1.1 {
+		t.Errorf("table4 @512KB: memmove (%.3g) should match t-copy (%.3g)", mm[0], tc[0])
+	}
+	// 2 MB row: memmove jumps to ~nt.
+	if rel := mm[2] / nt[2]; rel < 0.9 || rel > 1.1 {
+		t.Errorf("table4 @2MB: memmove (%.3g) should match nt-copy (%.3g)", mm[2], nt[2])
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	f := get(t, "table5")
+	cma := f.find("DMA copy (CMA)").Y
+	ad := f.find("adaptive-copy").Y
+	if ad[0] >= cma[0] || ad[1] >= cma[1] {
+		t.Errorf("table5: adaptive (%v) should beat CMA (%v) in both patterns", ad, cma)
+	}
+	if cma[0] <= cma[1] {
+		t.Errorf("table5: one-to-all CMA (%.4g) should be slower than ring CMA (%.4g) (lock contention)", cma[0], cma[1])
+	}
+}
+
+func TestDAVTablesFormulaMatchesMeasured(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3"} {
+		f := get(t, id)
+		formula := f.find("formula").Y
+		measured := f.find("measured").Y
+		for i := range formula {
+			if formula[i] != measured[i] {
+				t.Errorf("%s row %d: formula %.0f != measured %.0f", id, i, formula[i], measured[i])
+			}
+		}
+	}
+}
+
+func TestFig16aScalability(t *testing.T) {
+	f := get(t, "fig16a")
+	last := len(f.XValues) - 1 // p = 64
+	ours := at(t, f, "YHCCL", last)
+	for _, s := range f.Series {
+		if s.Name == "YHCCL" {
+			continue
+		}
+		if s.Y[last] <= ours {
+			t.Errorf("fig16a p=64: %s (%.4g) should be slower than YHCCL (%.4g)", s.Name, s.Y[last], ours)
+		}
+	}
+	// Hashmi's XPMEM wins at p = 2 (smaller DAV gap, paper §5.5).
+	if x, y := at(t, f, "Hashmi's XPMEM", 0), at(t, f, "YHCCL", 0); x >= y {
+		t.Errorf("fig16a p=2: XPMEM (%.4g) should beat YHCCL (%.4g)", x, y)
+	}
+}
+
+func TestFig16bMultiNode(t *testing.T) {
+	f := get(t, "fig16b")
+	last := len(f.XValues) - 1
+	ours := at(t, f, "YHCCL", last)
+	for _, s := range f.Series {
+		if s.Name == "YHCCL" {
+			continue
+		}
+		sp := s.Y[last] / ours
+		if sp <= 1 {
+			t.Errorf("fig16b large: %s should lose to YHCCL (%.2fx)", s.Name, sp)
+		}
+		if sp > 12 {
+			t.Errorf("fig16b: speedup vs %s = %.1fx beyond the paper's 8.8x", s.Name, sp)
+		}
+	}
+	// Small message: the tree stand-in wins.
+	if tree, y := at(t, f, "MVAPICH2", 0), at(t, f, "YHCCL", 0); tree >= y {
+		t.Errorf("fig16b small: tree (%.4g) should beat YHCCL (%.4g)", tree, y)
+	}
+}
+
+func TestFig17MiniAMR(t *testing.T) {
+	f := get(t, "fig17")
+	open := f.find("Open MPI").Y
+	yh := f.find("YHCCL").Y
+	for i := range open {
+		if yh[i] >= open[i] {
+			t.Errorf("fig17 @%d nodes: YHCCL (%.3g) should beat Open MPI (%.3g)", f.XValues[i], yh[i], open[i])
+		}
+		sp := open[i] / yh[i]
+		if sp > 2.5 {
+			t.Errorf("fig17 @%d nodes: speedup %.2fx beyond the paper's 1.67x band", f.XValues[i], sp)
+		}
+	}
+}
+
+func TestFig18CNN(t *testing.T) {
+	for _, id := range []string{"fig18a", "fig18b"} {
+		f := get(t, id)
+		open := f.find("Open MPI").Y
+		yh := f.find("YHCCL").Y
+		last := len(open) - 1
+		if yh[last] <= open[last] {
+			t.Errorf("%s @256 nodes: YHCCL (%.1f img/s) should beat Open MPI (%.1f)", id, yh[last], open[last])
+		}
+		if sp := yh[last] / open[last]; sp < 1.5 || sp > 2.4 {
+			t.Errorf("%s: speedup at scale %.2fx, want the paper's ~1.8-2.0x band", id, sp)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, id := range []string{"abl-slice", "abl-socket", "abl-cacherule", "abl-switch", "abl-rgdegree"} {
+		f := get(t, id)
+		if len(f.Series) == 0 || len(f.Series[0].Y) == 0 {
+			t.Errorf("%s produced no data", id)
+		}
+	}
+}
+
+func TestAblationSocketCrossover(t *testing.T) {
+	// Socket-aware must win at the 1 MB point (sync-bound regime benefits).
+	f := get(t, "abl-socket")
+	sock := f.find("socket-aware").Y
+	flat := f.find("flat MA").Y
+	if sock[1] >= flat[1] {
+		t.Errorf("abl-socket @1MB: socket-aware (%.4g) should beat flat (%.4g)", sock[1], flat[1])
+	}
+}
+
+func TestPredictedSwitchPoints(t *testing.T) {
+	// Our self-consistent W > C solution: 2048 KB on NodeA, 1088 KB on
+	// NodeB (the paper's 2176/1152 KB omit the m factor; see
+	// EXPERIMENTS.md).
+	if got := PredictedSwitchBytes(topo.NodeA(), 64); got != 2048<<10 {
+		t.Errorf("NodeA switch = %s, want 2048KB", ByteSize(got))
+	}
+	if got := PredictedSwitchBytes(topo.NodeB(), 48); got != 1088<<10 {
+		t.Errorf("NodeB switch = %s, want 1088KB", ByteSize(got))
+	}
+}
+
+func TestFprintRendersTable(t *testing.T) {
+	f := get(t, "fig9a")
+	var buf bytes.Buffer
+	f.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"fig9a", "64KB", "Socket-aware MA (ours)", "DPML (rel)", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		64 << 10:  "64KB",
+		2 << 20:   "2MB",
+		1 << 30:   "1GB",
+		3<<10 + 1: "3073B",
+	}
+	for in, want := range cases {
+		if got := ByteSize(in); got != want {
+			t.Errorf("ByteSize(%d) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestFprintCSV(t *testing.T) {
+	f := &Figure{
+		ID: "x", XValues: []int64{1, 2},
+		Series: []Series{{Name: "a", Y: []float64{0.5, 1.5}}, {Name: "b", Y: []float64{2, 3}}},
+	}
+	var buf bytes.Buffer
+	f.FprintCSV(&buf)
+	want := "x,\"a\",\"b\"\n1,0.5,2\n2,1.5,3\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

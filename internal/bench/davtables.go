@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"yhccl/internal/coll"
+	"yhccl/internal/dav"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// Tables 1-3: the data-access-volume comparison. Each table prints the
+// closed-form DAV per algorithm at a representative size together with the
+// DAV actually measured by the memory model while running the algorithm —
+// the reproduction's strongest internal check.
+
+func init() {
+	register("table1", "DAV of reduce-scatter algorithms (formula vs measured), p=8", table1)
+	register("table2", "DAV of all-reduce algorithms (formula vs measured), p=8", table2)
+	register("table3", "DAV of reduce algorithms (formula vs measured), p=8", table3)
+}
+
+// measuredDAV runs the collective once on a fresh real machine and
+// returns the model's logical DAV counter.
+func measuredDAV(run func(m *mpi.Machine)) int64 {
+	m := mpi.NewMachine(topo.NodeA(), 8, true)
+	run(m)
+	return m.Model.Counters().DAV()
+}
+
+func table1(quick bool) (*Figure, error) {
+	const p = 8
+	n := int64(4096)
+	s := int64(p) * n * memmodel.ElemSize
+	type row struct {
+		name    string
+		formula int64
+		alg     coll.RSFunc
+	}
+	rows := []row{
+		{"Ring", dav.RingReduceScatter(s, p), coll.ReduceScatterRing},
+		{"Rabenseifner", dav.RabenseifnerReduceScatter(s, p), coll.ReduceScatterRabenseifner},
+		{"DPML", dav.DPMLReduceScatter(s, p), coll.ReduceScatterDPML},
+		{"YHCCL (MA)", dav.MAReduceScatter(s, p), coll.ReduceScatterMA},
+		{"YHCCL (socket-MA)", dav.SocketMAReduceScatter(s, p, 2), nil},
+	}
+	f := &Figure{
+		ID: "table1", Title: "Reduce-scatter DAV per node (s = 256 KB, p = 8)",
+		XLabel: "algorithm index", YLabel: "bytes",
+		Notes: []string{"socket-MA measured on an explicit 2-socket binding"},
+	}
+	var formula, measured Series
+	formula.Name, measured.Name = "formula", "measured"
+	for i, r := range rows {
+		f.XValues = append(f.XValues, int64(i))
+		formula.Y = append(formula.Y, float64(r.formula))
+		var got int64
+		if r.alg != nil {
+			alg := r.alg
+			got = measuredDAV(func(m *mpi.Machine) {
+				m.MustRun(func(rk *mpi.Rank) {
+					sb := rk.NewBuffer("sb", int64(p)*n)
+					rb := rk.NewBuffer("rb", n)
+					alg(rk, rk.World(), sb, rb, n, mpi.Sum, coll.Options{})
+				})
+			})
+		} else {
+			m := mpi.NewMachineWithBinding(topo.NodeA(), []int{0, 1, 2, 3, 32, 33, 34, 35}, true)
+			m.MustRun(func(rk *mpi.Rank) {
+				sb := rk.NewBuffer("sb", int64(p)*n)
+				rb := rk.NewBuffer("rb", n)
+				coll.ReduceScatterSocketMA(rk, rk.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			})
+			got = m.Model.Counters().DAV()
+		}
+		measured.Y = append(measured.Y, float64(got))
+		f.Notes = append(f.Notes, r.name)
+	}
+	f.Series = []Series{formula, measured}
+	return f, nil
+}
+
+func table2(quick bool) (*Figure, error) {
+	const p = 8
+	n := int64(8192)
+	s := n * memmodel.ElemSize
+	type row struct {
+		name    string
+		formula int64
+		alg     coll.ARFunc
+	}
+	rows := []row{
+		{"Ring (impl: 7s(p-1)+2s)", dav.RingAllreduceImpl(s, p), coll.AllreduceRing},
+		{"Rabenseifner (impl)", dav.RabenseifnerAllreduceImpl(s, p), coll.AllreduceRabenseifner},
+		{"DPML (impl: 7p-3)", dav.DPMLAllreduceImpl(s, p), coll.AllreduceDPML},
+		{"RG (k=2)", dav.RGReduce(s, 9, 2) + 2*s*9, nil}, // measured separately at p=9
+		{"YHCCL (MA)", dav.MAAllreduce(s, p), coll.AllreduceMA},
+		{"XPMEM", dav.XPMEMAllreduce(s, p), coll.AllreduceXPMEM},
+	}
+	f := &Figure{
+		ID: "table2", Title: "All-reduce DAV per node (s = 64 KB, p = 8)",
+		XLabel: "algorithm index", YLabel: "bytes",
+		Notes: []string{"RG row computed at p=9, k=2 (exact for p a power of k+1)"},
+	}
+	var formula, measured Series
+	formula.Name, measured.Name = "formula", "measured"
+	for i, r := range rows {
+		f.XValues = append(f.XValues, int64(i))
+		formula.Y = append(formula.Y, float64(r.formula))
+		var got int64
+		if r.alg != nil {
+			alg := r.alg
+			got = measuredDAV(func(m *mpi.Machine) {
+				m.MustRun(func(rk *mpi.Rank) {
+					sb := rk.NewBuffer("sb", n)
+					rb := rk.NewBuffer("rb", n)
+					alg(rk, rk.World(), sb, rb, n, mpi.Sum, coll.Options{})
+				})
+			})
+		} else {
+			m := mpi.NewMachine(topo.NodeA(), 9, true)
+			m.MustRun(func(rk *mpi.Rank) {
+				sb := rk.NewBuffer("sb", n)
+				rb := rk.NewBuffer("rb", n)
+				coll.AllreduceRG(rk, rk.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			})
+			got = m.Model.Counters().DAV()
+		}
+		measured.Y = append(measured.Y, float64(got))
+		f.Notes = append(f.Notes, r.name)
+	}
+	f.Series = []Series{formula, measured}
+	return f, nil
+}
+
+func table3(quick bool) (*Figure, error) {
+	const p = 8
+	n := int64(8192)
+	s := n * memmodel.ElemSize
+	type row struct {
+		name    string
+		formula int64
+		alg     coll.ReduceFunc
+	}
+	rows := []row{
+		{"DPML (impl: 5p-1)", dav.DPMLReduceImpl(s, p), coll.ReduceDPML},
+		{"YHCCL (MA)", dav.MAReduce(s, p), coll.ReduceMA},
+	}
+	f := &Figure{
+		ID: "table3", Title: "Reduce DAV per node (s = 64 KB, p = 8)",
+		XLabel: "algorithm index", YLabel: "bytes",
+	}
+	var formula, measured Series
+	formula.Name, measured.Name = "formula", "measured"
+	for i, r := range rows {
+		f.XValues = append(f.XValues, int64(i))
+		formula.Y = append(formula.Y, float64(r.formula))
+		alg := r.alg
+		got := measuredDAV(func(m *mpi.Machine) {
+			m.MustRun(func(rk *mpi.Rank) {
+				sb := rk.NewBuffer("sb", n)
+				rb := rk.NewBuffer("rb", n)
+				alg(rk, rk.World(), sb, rb, n, mpi.Sum, 0, coll.Options{})
+			})
+		})
+		measured.Y = append(measured.Y, float64(got))
+		f.Notes = append(f.Notes, r.name)
+	}
+	f.Series = []Series{formula, measured}
+	return f, nil
+}

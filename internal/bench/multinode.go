@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"yhccl/internal/apps/dnn"
+	"yhccl/internal/apps/miniamr"
+	"yhccl/internal/cluster"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/topo"
+)
+
+// Fig. 16b (multi-node all-reduce), Fig. 17 (MiniAMR) and Fig. 18 (CNN
+// training throughput).
+
+func init() {
+	register("fig16b", "Multi-node all-reduce, 16 nodes x 64 ranks (NodeA)", fig16b)
+	register("fig17", "MiniAMR total time, 1-64 nodes x 64 ranks", fig17)
+	register("fig18a", "ResNet-50 training throughput, 1-256 nodes x 24 ranks (Cluster C)", fig18(dnn.ResNet50, "fig18a"))
+	register("fig18b", "VGG-16 training throughput, 1-256 nodes x 24 ranks (Cluster C)", fig18(dnn.VGG16, "fig18b"))
+}
+
+func fig16b(quick bool) (*Figure, error) {
+	// The paper's Fig. 16b sweeps 16 KB - 256 MB; the tree-based
+	// implementations' advantage lives at the bottom of that range.
+	sizes := []int64{16 << 10, 2 << 20, 64 << 20}
+	if !quick {
+		sizes = nil
+		for s := int64(16 << 10); s <= 256<<20; s *= 2 {
+			sizes = append(sizes, s)
+		}
+	}
+	c := cluster.New(topo.NodeA(), 16, 64, cluster.IB100())
+	algs := []struct {
+		name string
+		alg  cluster.Algorithm
+	}{
+		{"YHCCL", cluster.YHCCLHierarchical},
+		{"Intel MPI", cluster.LeaderRing},
+		{"MVAPICH2", cluster.LeaderTree},
+		{"MPICH", cluster.FlatRing},
+		{"OMPI-hcoll", cluster.LeaderTree},
+	}
+	f := &Figure{
+		ID: "fig16b", Title: "Multi-node all-reduce (16 nodes x 64 ranks, 1024 procs)",
+		XLabel: "Msg bytes", XValues: sizes, YLabel: "time (us)", Baseline: "YHCCL",
+		Notes: []string{"tree-based stand-ins win on small messages, as in the paper"},
+	}
+	for _, a := range algs {
+		a := a
+		f.Series = append(f.Series, Series{Name: a.name, Y: sweep(sizes, func(s int64) float64 {
+			return c.MustAllreduceTime(a.alg, s/memmodel.ElemSize)
+		})})
+	}
+	return f, nil
+}
+
+func fig17(quick bool) (*Figure, error) {
+	nodeCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	if quick {
+		nodeCounts = []int{1, 8, 64}
+	}
+	f := &Figure{
+		ID: "fig17", Title: "MiniAMR total time (64 ranks/node, refine=40000, 20 steps)",
+		XLabel: "nodes", YLabel: "time (seconds)",
+	}
+	var open, yh Series
+	open.Name, yh.Name = "Open MPI", "YHCCL"
+	for _, nodes := range nodeCounts {
+		f.XValues = append(f.XValues, int64(nodes))
+		cfg := miniamr.DefaultConfig(nodes)
+		if quick {
+			cfg.Timesteps = 3
+			cfg.GridDim = 6
+		}
+		ro, err := miniamr.Run(cfg, cluster.LeaderRing)
+		if err != nil {
+			return nil, err
+		}
+		ry, err := miniamr.Run(cfg, cluster.YHCCLHierarchical)
+		if err != nil {
+			return nil, err
+		}
+		open.Y = append(open.Y, ro.TotalTime)
+		yh.Y = append(yh.Y, ry.TotalTime)
+	}
+	f.Series = []Series{open, yh}
+	return f, nil
+}
+
+func fig18(model func() dnn.Model, id string) Runner {
+	return func(quick bool) (*Figure, error) {
+		nodeCounts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+		if quick {
+			nodeCounts = []int{1, 16, 256}
+		}
+		m := model()
+		f := &Figure{
+			ID: id, Title: m.Name + " training throughput (24 ranks/node, Cluster C)",
+			XLabel: "nodes", YLabel: "throughput (img/s)",
+		}
+		var open, yh Series
+		open.Name, yh.Name = "Open MPI", "YHCCL"
+		for _, nodes := range nodeCounts {
+			f.XValues = append(f.XValues, int64(nodes))
+			cfg := dnn.DefaultConfig(nodes)
+			ro, err := dnn.Throughput(cfg, m, cluster.FlatRing)
+			if err != nil {
+				return nil, err
+			}
+			ry, err := dnn.Throughput(cfg, m, cluster.YHCCLHierarchical)
+			if err != nil {
+				return nil, err
+			}
+			open.Y = append(open.Y, ro.ImagesPerSecond)
+			yh.Y = append(yh.Y, ry.ImagesPerSecond)
+		}
+		f.Series = []Series{open, yh}
+		return f, nil
+	}
+}

@@ -1,0 +1,237 @@
+// Package cachesim implements a line-granular, set-associative, write-back
+// write-allocate cache simulator with non-temporal store support.
+//
+// It exists to validate the region-granular residency model in
+// internal/memmodel against a faithful cache: both must predict the same
+// DRAM-traffic ratios for the access patterns the paper's analysis relies
+// on (streaming copies, sliced copies, reductions). The Table 4 experiment
+// (sliced STREAM copy with temporal vs non-temporal stores) is reproduced
+// on this simulator at a scaled array size.
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes a cache.
+type Config struct {
+	// SizeBytes is the total capacity. Must be a multiple of LineSize*Ways.
+	SizeBytes int64
+	// LineSize is the cache-line size in bytes (power of two).
+	LineSize int
+	// Ways is the set associativity.
+	Ways int
+}
+
+// Stats counts events since the last Reset. Byte counters are multiples of
+// the line size.
+type Stats struct {
+	// Loads and Stores count accessed lines (logical accesses).
+	Loads, Stores int64
+	// LoadMisses and StoreMisses count lines that missed.
+	LoadMisses, StoreMisses int64
+	// DemandFillBytes is DRAM read traffic for load misses.
+	DemandFillBytes int64
+	// RFOBytes is DRAM read traffic for temporal store misses
+	// (read-for-ownership line fills).
+	RFOBytes int64
+	// WritebackBytes is DRAM write traffic from dirty evictions/flushes.
+	WritebackBytes int64
+	// NTStoreBytes is DRAM write traffic from non-temporal stores.
+	NTStoreBytes int64
+}
+
+// DRAMTraffic returns total bytes that crossed the memory controller.
+func (s Stats) DRAMTraffic() int64 {
+	return s.DemandFillBytes + s.RFOBytes + s.WritebackBytes + s.NTStoreBytes
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	use   uint64 // LRU stamp
+}
+
+// Cache is a single-level set-associative cache over a flat address space.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	numSets  int
+	lineBits uint
+	setMask  uint64
+	stamp    uint64
+	stats    Stats
+
+	// onEvict, when set, is invoked with the line-aligned address and
+	// dirty state of every valid victim (used by Hierarchy to chain
+	// levels). Write-back byte accounting still happens in this cache's
+	// stats.
+	onEvict func(addr int64, dirty bool)
+}
+
+// New builds a cache from the config, validating its geometry.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineSize <= 0 || bits.OnesCount(uint(cfg.LineSize)) != 1 {
+		return nil, fmt.Errorf("cachesim: line size %d must be a power of two", cfg.LineSize)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cachesim: ways %d must be positive", cfg.Ways)
+	}
+	lines := cfg.SizeBytes / int64(cfg.LineSize)
+	if lines <= 0 || lines%int64(cfg.Ways) != 0 {
+		return nil, fmt.Errorf("cachesim: size %d not divisible into %d-way sets of %d-byte lines",
+			cfg.SizeBytes, cfg.Ways, cfg.LineSize)
+	}
+	numSets := int(lines) / cfg.Ways
+	if bits.OnesCount(uint(numSets)) != 1 {
+		return nil, fmt.Errorf("cachesim: set count %d must be a power of two", numSets)
+	}
+	c := &Cache{
+		cfg:      cfg,
+		numSets:  numSets,
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:  uint64(numSets - 1),
+		sets:     make([][]line, numSets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error (for tests and fixed configs).
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters, keeping cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// lineRange iterates the line-aligned addresses covering [addr, addr+size).
+func (c *Cache) lineRange(addr, size int64) (first, last uint64) {
+	if size <= 0 {
+		panic("cachesim: access size must be positive")
+	}
+	ls := int64(c.cfg.LineSize)
+	return uint64(addr / ls), uint64((addr + size - 1) / ls)
+}
+
+// Load simulates a temporal load of [addr, addr+size).
+func (c *Cache) Load(addr, size int64) {
+	first, last := c.lineRange(addr, size)
+	for ln := first; ln <= last; ln++ {
+		c.stats.Loads++
+		if !c.access(ln, false) {
+			c.stats.LoadMisses++
+			c.stats.DemandFillBytes += int64(c.cfg.LineSize)
+		}
+	}
+}
+
+// Store simulates a temporal (write-allocate) store of [addr, addr+size).
+func (c *Cache) Store(addr, size int64) {
+	first, last := c.lineRange(addr, size)
+	for ln := first; ln <= last; ln++ {
+		c.stats.Stores++
+		if !c.access(ln, true) {
+			c.stats.StoreMisses++
+			c.stats.RFOBytes += int64(c.cfg.LineSize)
+		}
+	}
+}
+
+// StoreNT simulates a non-temporal store: the data goes straight to memory
+// and any cached copy is invalidated without write-back (superseded).
+func (c *Cache) StoreNT(addr, size int64) {
+	first, last := c.lineRange(addr, size)
+	for ln := first; ln <= last; ln++ {
+		c.stats.Stores++
+		c.stats.NTStoreBytes += int64(c.cfg.LineSize)
+		set := &c.sets[ln&c.setMask]
+		tag := ln >> uint(bits.TrailingZeros(uint(c.numSets)))
+		for i := range *set {
+			if (*set)[i].valid && (*set)[i].tag == tag {
+				(*set)[i].valid = false
+				(*set)[i].dirty = false
+			}
+		}
+	}
+}
+
+// access looks up a line, allocating on miss (write-allocate for stores,
+// demand fill for loads). It returns true on hit. Dirty victims charge
+// write-back traffic.
+func (c *Cache) access(ln uint64, store bool) (hit bool) {
+	set := c.sets[ln&c.setMask]
+	tag := ln >> uint(bits.TrailingZeros(uint(c.numSets)))
+	c.stamp++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].use = c.stamp
+			if store {
+				set[i].dirty = true
+			}
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].use < set[victim].use {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		if v.dirty {
+			c.stats.WritebackBytes += int64(c.cfg.LineSize)
+		}
+		if c.onEvict != nil {
+			victimLine := (v.tag << uint(bits.TrailingZeros(uint(c.numSets)))) | (ln & c.setMask)
+			c.onEvict(int64(victimLine)*int64(c.cfg.LineSize), v.dirty)
+		}
+	}
+	v.valid = true
+	v.tag = tag
+	v.dirty = store
+	v.use = c.stamp
+	return false
+}
+
+// Flush writes back all dirty lines and invalidates the cache.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			l := &c.sets[s][i]
+			if l.valid && l.dirty {
+				c.stats.WritebackBytes += int64(c.cfg.LineSize)
+			}
+			l.valid = false
+			l.dirty = false
+		}
+	}
+}
+
+// Occupancy returns the number of valid lines (diagnostics).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	return MustNew(Config{SizeBytes: 8192, LineSize: 64, Ways: 4}) // 32 sets
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 8192, LineSize: 63, Ways: 4},       // non-power-of-two line
+		{SizeBytes: 8192, LineSize: 64, Ways: 0},       // zero ways
+		{SizeBytes: 100, LineSize: 64, Ways: 4},        // size not divisible
+		{SizeBytes: 64 * 4 * 3, LineSize: 64, Ways: 4}, // 3 sets: not power of two
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := New(Config{SizeBytes: 8192, LineSize: 64, Ways: 4}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	c.Load(0, 64)
+	s := c.Stats()
+	if s.LoadMisses != 1 || s.DemandFillBytes != 64 {
+		t.Fatalf("cold load: %+v", s)
+	}
+	c.Load(0, 64)
+	s = c.Stats()
+	if s.LoadMisses != 1 {
+		t.Fatalf("second load missed: %+v", s)
+	}
+}
+
+func TestStoreMissIsRFO(t *testing.T) {
+	c := small()
+	c.Store(0, 128)
+	s := c.Stats()
+	if s.StoreMisses != 2 || s.RFOBytes != 128 {
+		t.Fatalf("store misses: %+v", s)
+	}
+	if s.WritebackBytes != 0 {
+		t.Fatalf("no eviction yet but writeback = %d", s.WritebackBytes)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c := small()
+	// Fill one set (ways=4, 32 sets): addresses mapping to set 0 are
+	// multiples of 64*32 = 2048.
+	for i := int64(0); i < 4; i++ {
+		c.Store(i*2048, 64)
+	}
+	c.ResetStats()
+	c.Load(4*2048, 64) // evicts the LRU dirty line
+	s := c.Stats()
+	if s.WritebackBytes != 64 {
+		t.Fatalf("writeback = %d, want 64", s.WritebackBytes)
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	c := small()
+	for i := int64(0); i < 4; i++ {
+		c.Load(i*2048, 64)
+	}
+	c.Load(0, 64) // refresh line 0
+	c.Load(4*2048, 64)
+	c.ResetStats()
+	c.Load(0, 64) // must still hit
+	if c.Stats().LoadMisses != 0 {
+		t.Fatal("recently used line was evicted")
+	}
+	c.Load(1*2048, 64) // LRU victim was line 1: must miss
+	if c.Stats().LoadMisses != 1 {
+		t.Fatal("LRU line was not evicted")
+	}
+}
+
+func TestNTStoreBypassesAndInvalidates(t *testing.T) {
+	c := small()
+	c.Store(0, 64) // dirty in cache
+	c.ResetStats()
+	c.StoreNT(0, 64)
+	s := c.Stats()
+	if s.NTStoreBytes != 64 {
+		t.Fatalf("NT bytes = %d", s.NTStoreBytes)
+	}
+	if s.WritebackBytes != 0 {
+		t.Fatalf("NT store should supersede dirty line, writeback = %d", s.WritebackBytes)
+	}
+	c.ResetStats()
+	c.Load(0, 64)
+	if c.Stats().LoadMisses != 1 {
+		t.Fatal("line should have been invalidated by NT store")
+	}
+}
+
+func TestFlushWritesBackDirty(t *testing.T) {
+	c := small()
+	c.Store(0, 256)
+	c.ResetStats()
+	c.Flush()
+	if got := c.Stats().WritebackBytes; got != 256 {
+		t.Fatalf("flush writeback = %d, want 256", got)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("cache not empty after flush")
+	}
+}
+
+func TestStreamingCopyTrafficRatios(t *testing.T) {
+	// The core Table 4 claim: for a copy whose working set far exceeds the
+	// cache, temporal stores generate ~3 bytes of DRAM traffic per copied
+	// byte, non-temporal ~2.
+	c := MustNew(Config{SizeBytes: 1 << 16, LineSize: 64, Ways: 8})
+	total := int64(1 << 20) // 16x the cache
+	srcBase, dstBase := int64(0), total
+
+	for off := int64(0); off < total; off += 4096 {
+		c.Load(srcBase+off, 4096)
+		c.Store(dstBase+off, 4096)
+	}
+	c.Flush()
+	tTraffic := c.Stats().DRAMTraffic()
+
+	c2 := MustNew(Config{SizeBytes: 1 << 16, LineSize: 64, Ways: 8})
+	for off := int64(0); off < total; off += 4096 {
+		c2.Load(srcBase+off, 4096)
+		c2.StoreNT(dstBase+off, 4096)
+	}
+	c2.Flush()
+	ntTraffic := c2.Stats().DRAMTraffic()
+
+	rT := float64(tTraffic) / float64(total)
+	rNT := float64(ntTraffic) / float64(total)
+	if rT < 2.9 || rT > 3.1 {
+		t.Errorf("temporal copy traffic ratio = %.3f, want ~3", rT)
+	}
+	if rNT < 1.9 || rNT > 2.1 {
+		t.Errorf("NT copy traffic ratio = %.3f, want ~2", rNT)
+	}
+	if float64(tTraffic)/float64(ntTraffic) < 1.4 {
+		t.Errorf("NT advantage %.2fx, want ~1.5x (paper's 50%% bandwidth gain)",
+			float64(tTraffic)/float64(ntTraffic))
+	}
+}
+
+func TestSmallWorkingSetNoCapacityMisses(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1 << 16, LineSize: 64, Ways: 8})
+	// Working set half the cache; after warmup, repeated sweeps never miss.
+	n := int64(1 << 15)
+	c.Load(0, n)
+	c.ResetStats()
+	for i := 0; i < 4; i++ {
+		c.Load(0, n)
+		c.Store(0, n)
+	}
+	s := c.Stats()
+	if s.LoadMisses != 0 || s.StoreMisses != 0 {
+		t.Fatalf("misses on cache-resident working set: %+v", s)
+	}
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := small()
+		capLines := int(c.Config().SizeBytes) / c.Config().LineSize
+		for i := 0; i < 500; i++ {
+			addr := int64(rng.Intn(1 << 16))
+			size := int64(rng.Intn(512) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				c.Load(addr, size)
+			case 1:
+				c.Store(addr, size)
+			case 2:
+				c.StoreNT(addr, size)
+			}
+			if c.Occupancy() > capLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficConservation(t *testing.T) {
+	// Property: total write-backs never exceed total bytes made dirty
+	// (RFO fills + store hits can dirty lines; each dirty line is written
+	// back at most once per fill).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := small()
+		for i := 0; i < 400; i++ {
+			addr := int64(rng.Intn(1 << 15))
+			c.Store(addr, int64(rng.Intn(256)+1))
+		}
+		c.Flush()
+		s := c.Stats()
+		// Each written-back line was filled via RFO exactly once since the
+		// last write-back, so writebacks <= RFO fills.
+		return s.WritebackBytes <= s.RFOBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hierarchy simulates a two-level cache: private per-core L2s in front of
+// a shared L3, in either inclusive or non-inclusive (victim) arrangement.
+// It exists to validate the paper's available-cache rule (§4.2): on
+// non-inclusive parts the data usable by p cooperating cores approaches
+// C = L3 + p*L2; on inclusive parts only C = L3.
+//
+// Data movement:
+//
+//   - L2 miss, L3 hit: serve from L3; in the victim (non-inclusive) design
+//     the line moves up (L3 copy invalidated), in the inclusive design the
+//     L3 copy stays.
+//   - L2 miss, L3 miss: fill from DRAM into L2 (and into L3 in the
+//     inclusive design).
+//   - L2 eviction: the victim (clean or dirty) is installed in L3
+//     (victim design) or, if dirty, updates the inclusive L3 copy.
+//   - L3 dirty eviction: write-back to DRAM.
+//   - Coherence between L2s: invalidate-on-remote-store.
+type Hierarchy struct {
+	l2        []*Cache
+	l3        *Cache
+	inclusive bool
+	stats     HierarchyStats
+}
+
+// HierarchyStats aggregates events across the hierarchy.
+type HierarchyStats struct {
+	// L2Hits, L3Hits and DRAMFills count line accesses by source.
+	L2Hits, L3Hits, DRAMFills int64
+	// DRAMTrafficBytes counts bytes to/from memory (fills, L3 dirty
+	// write-backs, NT stores).
+	DRAMTrafficBytes int64
+}
+
+// NewHierarchy builds a hierarchy with `cores` private L2s.
+func NewHierarchy(cores int, l2, l3 Config, inclusive bool) (*Hierarchy, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("cachesim: need at least one core")
+	}
+	if l2.LineSize != l3.LineSize {
+		return nil, fmt.Errorf("cachesim: L2/L3 line sizes differ")
+	}
+	h := &Hierarchy{inclusive: inclusive}
+	l3c, err := New(l3)
+	if err != nil {
+		return nil, fmt.Errorf("L3: %w", err)
+	}
+	h.l3 = l3c
+	h.l3.onEvict = func(addr int64, dirty bool) {
+		if dirty {
+			h.stats.DRAMTrafficBytes += int64(l3.LineSize)
+		}
+	}
+	for i := 0; i < cores; i++ {
+		c, err := New(l2)
+		if err != nil {
+			return nil, fmt.Errorf("L2: %w", err)
+		}
+		c.onEvict = func(addr int64, dirty bool) {
+			// The L2 victim stays on chip: install in L3 (victim design),
+			// or refresh the inclusive copy when dirty.
+			if !h.inclusive || dirty {
+				h.installL3(addr, dirty)
+			}
+		}
+		h.l2 = append(h.l2, c)
+	}
+	return h, nil
+}
+
+// MustNewHierarchy panics on config errors.
+func MustNewHierarchy(cores int, l2, l3 Config, inclusive bool) *Hierarchy {
+	h, err := NewHierarchy(cores, l2, l3, inclusive)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// installL3 places a victim line in L3 without counting it as a demand
+// access in the hierarchy stats (its own evictions still chain to DRAM).
+func (h *Hierarchy) installL3(addr int64, dirty bool) {
+	if dirty {
+		h.l3.Store(addr, 1)
+	} else {
+		h.l3.Load(addr, 1)
+	}
+}
+
+// Stats returns the aggregate counters.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+func (h *Hierarchy) lineSize() int64 { return int64(h.l3.cfg.LineSize) }
+
+// Load accesses [addr, addr+size) through core's L2.
+func (h *Hierarchy) Load(core int, addr, size int64) {
+	h.access(core, addr, size, false)
+}
+
+// Store write-allocates [addr, addr+size) through core's L2.
+func (h *Hierarchy) Store(core int, addr, size int64) {
+	h.access(core, addr, size, true)
+}
+
+// StoreNT bypasses the hierarchy: data goes to DRAM, cached copies are
+// invalidated everywhere.
+func (h *Hierarchy) StoreNT(core int, addr, size int64) {
+	ls := h.lineSize()
+	first, last := addr/ls, (addr+size-1)/ls
+	for ln := first; ln <= last; ln++ {
+		a := ln * ls
+		for _, l2 := range h.l2 {
+			l2.invalidateLine(a)
+		}
+		h.l3.invalidateLine(a)
+		h.stats.DRAMTrafficBytes += ls
+	}
+}
+
+// access walks L2 -> L3 -> DRAM at line granularity.
+func (h *Hierarchy) access(core int, addr, size int64, store bool) {
+	ls := h.lineSize()
+	l2 := h.l2[core]
+	first, last := addr/ls, (addr+size-1)/ls
+	for ln := first; ln <= last; ln++ {
+		a := ln * ls
+		if store {
+			for i, other := range h.l2 {
+				if i != core {
+					other.invalidateLine(a)
+				}
+			}
+		}
+		// Resolve where the line comes from BEFORE touching L2: the L2
+		// access spills a victim into L3, and on real hardware the demand
+		// line is fetched before the victim is handled.
+		if l2.present(a) {
+			h.stats.L2Hits++
+			if store {
+				l2.Store(a, 1)
+			} else {
+				l2.Load(a, 1)
+			}
+			continue
+		}
+		if h.l3.present(a) {
+			h.stats.L3Hits++
+			if !h.inclusive {
+				// Victim design: the line moves up; L3 gives it away.
+				h.l3.invalidateLine(a)
+			}
+		} else {
+			h.stats.DRAMFills++
+			h.stats.DRAMTrafficBytes += ls
+			if h.inclusive {
+				// Inclusive fill also installs in L3.
+				h.l3.Load(a, 1)
+			}
+		}
+		// Allocate in L2 (possibly spilling a victim into the slot L3
+		// just freed).
+		if store {
+			l2.Store(a, 1)
+		} else {
+			l2.Load(a, 1)
+		}
+	}
+}
+
+// present reports whether the line holding addr is valid (no side effects).
+func (c *Cache) present(addr int64) bool {
+	ln := uint64(addr / int64(c.cfg.LineSize))
+	set := c.sets[ln&c.setMask]
+	tag := ln >> uint(bits.TrailingZeros(uint(c.numSets)))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidateLine drops one line without write-back (coherence/victim move).
+func (c *Cache) invalidateLine(addr int64) {
+	ln := uint64(addr / int64(c.cfg.LineSize))
+	set := c.sets[ln&c.setMask]
+	tag := ln >> uint(bits.TrailingZeros(uint(c.numSets)))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			set[i].dirty = false
+		}
+	}
+}

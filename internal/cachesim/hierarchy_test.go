@@ -1,0 +1,133 @@
+package cachesim
+
+import "testing"
+
+func smallHier(inclusive bool) *Hierarchy {
+	// 4 cores x 4 KB L2, 16 KB shared L3.
+	return MustNewHierarchy(4,
+		Config{SizeBytes: 4 << 10, LineSize: 64, Ways: 4},
+		Config{SizeBytes: 16 << 10, LineSize: 64, Ways: 8},
+		inclusive)
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := smallHier(false)
+	h.Load(0, 0, 64)
+	h.Load(0, 0, 64)
+	s := h.Stats()
+	if s.L2Hits != 1 || s.DRAMFills != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestHierarchyVictimServesFromL3(t *testing.T) {
+	h := smallHier(false)
+	// Stream 8 KB through core 0's 4 KB L2: the first half is evicted to
+	// the victim L3.
+	for a := int64(0); a < 8<<10; a += 64 {
+		h.Load(0, a, 64)
+	}
+	before := h.Stats()
+	// Re-touch the first half: should be L3 hits, not DRAM fills.
+	for a := int64(0); a < 4<<10; a += 64 {
+		h.Load(0, a, 64)
+	}
+	s := h.Stats()
+	if got := s.DRAMFills - before.DRAMFills; got != 0 {
+		t.Errorf("%d DRAM fills on data that should sit in the victim L3", got)
+	}
+	if got := s.L3Hits - before.L3Hits; got == 0 {
+		t.Error("no L3 hits recorded")
+	}
+}
+
+func TestHierarchyCapacityRule(t *testing.T) {
+	// The paper's available-cache rule: 4 cores each sweeping a disjoint
+	// (L2 + L3/4)-sized working set fit in the non-inclusive hierarchy but
+	// thrash the inclusive one.
+	perCore := int64(4<<10 + 4<<10) // L2 + share of L3 = 8 KB each
+	sweep := func(h *Hierarchy) (fills int64) {
+		// Warm-up pass, then measure a second pass.
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				fills = h.Stats().DRAMFills
+			}
+			for core := 0; core < 4; core++ {
+				base := int64(core) * 1 << 20
+				for a := int64(0); a < perCore; a += 64 {
+					h.Load(core, base+a, 64)
+				}
+			}
+		}
+		return h.Stats().DRAMFills - fills
+	}
+	nonIncl := sweep(smallHier(false))
+	incl := sweep(smallHier(true))
+	if nonIncl >= incl {
+		t.Errorf("non-inclusive second-pass fills (%d) should be below inclusive (%d): C = c' + p*c''",
+			nonIncl, incl)
+	}
+	total := 4 * perCore / 64
+	if float64(nonIncl) > 0.25*float64(total) {
+		t.Errorf("non-inclusive hierarchy refilled %d of %d lines; working set should mostly fit", nonIncl, total)
+	}
+}
+
+func TestHierarchyCoherenceInvalidate(t *testing.T) {
+	h := smallHier(false)
+	h.Load(0, 0, 64)
+	h.Load(1, 0, 64)
+	// Core 1 stores: core 0's copy must be invalidated.
+	h.Store(1, 0, 64)
+	before := h.Stats()
+	h.Load(0, 0, 64)
+	s := h.Stats()
+	if s.L2Hits != before.L2Hits {
+		t.Error("core 0 hit a line that a remote store should have invalidated")
+	}
+}
+
+func TestHierarchyNTStoreBypasses(t *testing.T) {
+	h := smallHier(false)
+	h.Store(0, 0, 128)
+	before := h.Stats().DRAMTrafficBytes
+	h.StoreNT(0, 0, 128)
+	if got := h.Stats().DRAMTrafficBytes - before; got != 128 {
+		t.Errorf("NT store traffic = %d, want 128", got)
+	}
+	before2 := h.Stats()
+	h.Load(0, 0, 64)
+	if h.Stats().L2Hits != before2.L2Hits {
+		t.Error("NT store should have invalidated the cached line")
+	}
+}
+
+func TestHierarchyDirtyEvictionReachesDRAM(t *testing.T) {
+	h := smallHier(false)
+	// Dirty 4 KB in L2, then stream 32 KB of clean loads through the same
+	// core to push the dirty lines through L3 out to DRAM.
+	for a := int64(0); a < 4<<10; a += 64 {
+		h.Store(0, a, 64)
+	}
+	mid := h.Stats().DRAMTrafficBytes
+	for a := int64(1 << 20); a < 1<<20+32<<10; a += 64 {
+		h.Load(0, a, 64)
+	}
+	extra := h.Stats().DRAMTrafficBytes - mid
+	// Expect at least the 4 KB of dirty write-backs on top of the fills.
+	fills := int64(32 << 10)
+	if extra < fills+4<<10 {
+		t.Errorf("traffic %d; want >= %d (fills) + 4096 (dirty write-backs)", extra, fills)
+	}
+}
+
+func TestHierarchyConfigValidation(t *testing.T) {
+	if _, err := NewHierarchy(0, Config{SizeBytes: 4096, LineSize: 64, Ways: 4},
+		Config{SizeBytes: 8192, LineSize: 64, Ways: 4}, false); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewHierarchy(2, Config{SizeBytes: 4096, LineSize: 64, Ways: 4},
+		Config{SizeBytes: 8192, LineSize: 128, Ways: 4}, false); err == nil {
+		t.Error("mismatched line sizes accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"yhccl/internal/coll"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+)
+
+// Multi-node broadcast and all-gather compositions, completing the
+// hierarchical story: YHCCL's multi-lane decomposition (scatter the
+// message across a node's ranks, move the pieces in parallel lanes,
+// reassemble intra-node) against the leader-based binomial pattern.
+
+// BcastTime models one broadcast of n elements per rank.
+func (c *Cluster) BcastTime(alg Algorithm, n int64) (float64, error) {
+	bytes := n * memmodel.ElemSize
+	switch alg {
+	case YHCCLHierarchical:
+		// Root node scatters the message across its p ranks; the pieces
+		// cross the fabric on p lanes down a binomial node tree; every
+		// node reassembles with the intra-node pipelined bcast + allgather
+		// (the multi-lane decomposition of Träff & Hunold the paper cites).
+		intra := c.steadyBcast("cbc", n, coll.BcastPipelined)
+		depth := math.Ceil(math.Log2(float64(c.Nodes)))
+		inter := depth * (float64(bytes)/c.Net.EffectiveBandwidth(c.PerNode) + c.Net.Latency)
+		if c.Nodes == 1 {
+			inter = 0
+		}
+		return intra + inter, nil
+	case LeaderTree, LeaderRing:
+		// Leader-based: binomial tree over single-lane links, then the
+		// CMA one-to-all broadcast inside each node.
+		intra := c.steadyBcast("cbl", n, coll.BcastCMA)
+		inter := c.Net.TreeAllreduceTime(bytes, c.Nodes) / 2 // one direction only
+		return intra + inter, nil
+	case FlatRing:
+		// Node-oblivious binomial over all P ranks: log2(P) rounds, each
+		// gated by a single-lane inter-node hop.
+		P := c.Ranks()
+		if P <= 1 {
+			return 0, nil
+		}
+		depth := math.Ceil(math.Log2(float64(P)))
+		per := float64(bytes)/c.Net.EffectiveBandwidth(1) + c.Net.Latency +
+			2*float64(bytes)/c.machine.Model.CacheBandwidthPerRank(0)
+		return depth * per, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown bcast algorithm %q", alg)
+}
+
+// AllgatherTime models one all-gather of n elements contributed per rank
+// (every rank ends with n * Ranks()).
+func (c *Cluster) AllgatherTime(alg Algorithm, n int64) (float64, error) {
+	perNodeBytes := n * memmodel.ElemSize * int64(c.PerNode)
+	total := perNodeBytes * int64(c.Nodes)
+	switch alg {
+	case YHCCLHierarchical:
+		// Intra-node all-gather assembles each node's contribution; the
+		// node blocks then circulate on a multi-lane inter-node ring while
+		// ranks copy arrivals out of shared memory.
+		intra := c.steadyAllgather("cag", n, coll.AllgatherPipelined)
+		inter := 0.0
+		if c.Nodes > 1 {
+			steps := float64(c.Nodes - 1)
+			inter = steps * (float64(perNodeBytes)/c.Net.EffectiveBandwidth(c.PerNode) + c.Net.Latency)
+			// Copy-out of the remotely received blocks.
+			inter += float64(total-perNodeBytes) / c.machine.Model.CacheBandwidthPerRank(0)
+		}
+		return intra + inter, nil
+	case LeaderTree, LeaderRing:
+		// Leaders gather intra-node, exchange on a single-lane ring, then
+		// broadcast the assembled result inside each node (CMA).
+		intra := c.steadyAllgather("cal", n, coll.AllgatherRing)
+		inter := 0.0
+		if c.Nodes > 1 {
+			steps := float64(c.Nodes - 1)
+			inter = steps * (float64(perNodeBytes)/c.Net.EffectiveBandwidth(1) + c.Net.Latency)
+			inter += float64(total) / c.machine.Model.CacheBandwidthPerRank(0) // leader redistributes
+		}
+		return intra + inter, nil
+	case FlatRing:
+		P := c.Ranks()
+		if P <= 1 {
+			return 0, nil
+		}
+		block := n * memmodel.ElemSize
+		per := float64(block)/c.Net.EffectiveBandwidth(1) + c.Net.Latency +
+			4*float64(block)/c.machine.Model.CacheBandwidthPerRank(0)
+		return float64(P-1) * per, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown all-gather algorithm %q", alg)
+}
+
+// steadyBcast measures the steady-state intra-node broadcast.
+func (c *Cluster) steadyBcast(label string, n int64, alg coll.BcastFunc) float64 {
+	body := func(r *mpi.Rank) {
+		buf := r.PersistentBuffer(fmt.Sprintf("%s/buf/%d", label, n), n)
+		r.Warm(buf, 0, n)
+		alg(r, r.World(), buf, n, 0, coll.Options{})
+	}
+	c.machine.MustRun(body)
+	return c.machine.MustRun(body)
+}
+
+// steadyAllgather measures the steady-state intra-node all-gather.
+func (c *Cluster) steadyAllgather(label string, n int64, alg coll.AGFunc) float64 {
+	body := func(r *mpi.Rank) {
+		sb := r.PersistentBuffer(fmt.Sprintf("%s/sb/%d", label, n), n)
+		rb := r.PersistentBuffer(fmt.Sprintf("%s/rb/%d", label, n), n*int64(c.PerNode))
+		r.Warm(sb, 0, n)
+		alg(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+	}
+	c.machine.MustRun(body)
+	return c.machine.MustRun(body)
+}

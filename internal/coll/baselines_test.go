@@ -1,0 +1,176 @@
+package coll
+
+import (
+	"testing"
+
+	"yhccl/internal/dav"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+func TestReduceScatterDPMLCorrectAndDAV(t *testing.T) {
+	p := 8
+	n := int64(4096)
+	m := runRS(t, topo.NodeA(), p, n, Options{}, ReduceScatterDPML)
+	s := int64(p) * n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.DPMLReduceScatter(s, p); got != want {
+		t.Errorf("DPML RS DAV = %d, want %d (s*(5p-1))", got, want)
+	}
+}
+
+func TestReduceScatterRingCorrectAndDAV(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		runRS(t, topo.NodeA(), p, 1024, Options{}, ReduceScatterRing)
+	}
+	p := 8
+	n := int64(4096)
+	m := runRS(t, topo.NodeA(), p, n, Options{}, ReduceScatterRing)
+	s := int64(p) * n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.RingReduceScatter(s, p); got != want {
+		t.Errorf("ring RS DAV = %d, want %d (5s(p-1))", got, want)
+	}
+}
+
+func TestReduceScatterRabenseifnerCorrectAndDAV(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16} {
+		runRS(t, topo.NodeA(), p, 512, Options{}, ReduceScatterRabenseifner)
+	}
+	// Non-power-of-two falls back to ring and must stay correct.
+	runRS(t, topo.NodeA(), 6, 512, Options{}, ReduceScatterRabenseifner)
+
+	p := 8
+	n := int64(4096)
+	m := runRS(t, topo.NodeA(), p, n, Options{}, ReduceScatterRabenseifner)
+	s := int64(p) * n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.RabenseifnerReduceScatter(s, p); got != want {
+		t.Errorf("rabenseifner RS DAV = %d, want %d", got, want)
+	}
+}
+
+// runAR runs an all-reduce algorithm with verification.
+func runAR(t *testing.T, p int, n int64, o Options,
+	alg func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options)) *mpi.Machine {
+	t.Helper()
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		alg(r, r.World(), sb, rb, n, mpi.Sum, o)
+		for j := int64(0); j < n; j += 37 {
+			if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+				t.Errorf("p=%d n=%d rank %d rb[%d] = %v, want %v", p, n, r.ID(), j, got, want)
+				return
+			}
+		}
+	})
+	return m
+}
+
+func TestAllreduceDPMLCorrectAndDAV(t *testing.T) {
+	runAR(t, 3, 1000, Options{}, AllreduceDPML)
+	p := 8
+	n := int64(8192)
+	m := runAR(t, p, n, Options{}, AllreduceDPML)
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.DPMLAllreduceImpl(s, p); got != want {
+		t.Errorf("DPML AR DAV = %d, want %d (s*(7p-3))", got, want)
+	}
+}
+
+func TestAllreduceRingCorrectAndDAV(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		runAR(t, p, 1000, Options{}, AllreduceRing)
+	}
+	runAR(t, 8, 5, Options{}, AllreduceRing) // empty tail blocks
+	p := 8
+	n := int64(8192)
+	m := runAR(t, p, n, Options{}, AllreduceRing)
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.RingAllreduceImpl(s, p); got != want {
+		t.Errorf("ring AR DAV = %d, want %d (7s(p-1)+2s)", got, want)
+	}
+}
+
+func TestAllreduceRabenseifnerCorrectAndDAV(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16} {
+		runAR(t, p, 1000, Options{}, AllreduceRabenseifner)
+	}
+	runAR(t, 6, 1000, Options{}, AllreduceRabenseifner) // fallback
+	p := 8
+	n := int64(8192)
+	m := runAR(t, p, n, Options{}, AllreduceRabenseifner)
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.RabenseifnerAllreduceImpl(s, p); got != want {
+		t.Errorf("rab AR DAV = %d, want %d", got, want)
+	}
+}
+
+func TestReduceDPMLCorrect(t *testing.T) {
+	p := 4
+	n := int64(777)
+	root := 2
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		ReduceDPML(r, r.World(), sb, rb, n, mpi.Sum, root, Options{})
+		if r.ID() == root {
+			for j := int64(0); j < n; j += 5 {
+				if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+					t.Errorf("root rb[%d] = %v, want %v", j, got, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestAllgatherRingCorrect(t *testing.T) {
+	for _, p := range []int{2, 3, 8} {
+		n := int64(600)
+		m := mpi.NewMachine(topo.NodeA(), p, true)
+		m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", int64(p)*n)
+			r.FillPattern(sb, float64(r.ID()*100000))
+			AllgatherRing(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+			for b := 0; b < p; b++ {
+				for j := int64(0); j < n; j += 97 {
+					want := float64(b*100000) + float64(j)
+					if got := rb.Slice(int64(b)*n+j, 1)[0]; got != want {
+						t.Errorf("p=%d rank %d rb[%d][%d] = %v, want %v", p, r.ID(), b, j, got, want)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMABeatsBaselinesOnLargeMessages(t *testing.T) {
+	// The headline claim (Fig. 9): socket-aware MA reduce-scatter clearly
+	// outperforms DPML / Ring / Rabenseifner on large messages. 4 MB
+	// message, NodeB p=48.
+	n := int64(4 << 20 / memmodel.ElemSize) // per-rank block so total message = p*n... keep blocks modest
+	n = 8192                                // block 64 KB -> message 3 MB on p=48
+	p := 48
+	time := func(alg func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options)) float64 {
+		m := mpi.NewMachine(topo.NodeB(), p, false)
+		return m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", int64(p)*n)
+			rb := r.NewBuffer("rb", n)
+			alg(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+		})
+	}
+	tMA := time(ReduceScatterSocketMA)
+	tDPML := time(ReduceScatterDPML)
+	tRing := time(ReduceScatterRing)
+	tRab := time(ReduceScatterRabenseifner)
+	if tMA >= tDPML || tMA >= tRing || tMA >= tRab {
+		t.Errorf("socket-MA %.4g should beat DPML %.4g, ring %.4g, rab %.4g",
+			tMA, tDPML, tRing, tRab)
+	}
+}

@@ -1,0 +1,340 @@
+package coll
+
+import (
+	"testing"
+
+	"yhccl/internal/dav"
+	"yhccl/internal/memcopy"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// runBcast runs a broadcast algorithm with verification.
+func runBcast(t *testing.T, p int, n int64, root int, o Options, alg BcastFunc) *mpi.Machine {
+	t.Helper()
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		buf := r.NewBuffer("buf", n)
+		if r.ID() == root {
+			r.FillPattern(buf, 123456)
+		}
+		alg(r, r.World(), buf, n, root, o)
+		for j := int64(0); j < n; j += 41 {
+			if got, want := buf.Slice(j, 1)[0], 123456+float64(j); got != want {
+				t.Errorf("rank %d buf[%d] = %v, want %v", r.ID(), j, got, want)
+				return
+			}
+		}
+	})
+	return m
+}
+
+func TestBcastPipelinedCorrect(t *testing.T) {
+	for _, p := range []int{2, 3, 8} {
+		for _, root := range []int{0, p - 1} {
+			runBcast(t, p, 1000, root, Options{}, BcastPipelined)
+		}
+	}
+	// Multi-slice pipelining (slice 1 MB = 131072 elems).
+	runBcast(t, 4, 500000, 0, Options{}, BcastPipelined)
+}
+
+func TestBcastPipelinedDAV(t *testing.T) {
+	p := 8
+	n := int64(1 << 17) // exactly one 1 MB slice
+	m := runBcast(t, p, n, 0, Options{}, BcastPipelined)
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.PipelinedBcast(s, p); got != want {
+		t.Errorf("bcast DAV = %d, want %d (2s + 2s(p-1))", got, want)
+	}
+}
+
+func TestBcastBinomialCorrect(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8, 16} {
+		for _, root := range []int{0, p / 2} {
+			runBcast(t, p, 700, root, Options{}, BcastBinomial)
+		}
+	}
+}
+
+func TestBcastXPMEMCorrect(t *testing.T) {
+	runBcast(t, 8, 1000, 0, Options{}, BcastXPMEM)
+	runBcast(t, 4, 1000, 2, Options{}, BcastXPMEM)
+}
+
+func TestBcastCMACorrect(t *testing.T) {
+	runBcast(t, 8, 1000, 0, Options{}, BcastCMA)
+}
+
+// runAG runs an all-gather with verification.
+func runAG(t *testing.T, p int, n int64, o Options, alg AGFunc) *mpi.Machine {
+	t.Helper()
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", int64(p)*n)
+		r.FillPattern(sb, float64(r.ID()*100000))
+		alg(r, r.World(), sb, rb, n, mpi.Sum, o)
+		for b := 0; b < p; b++ {
+			for j := int64(0); j < n; j += 53 {
+				want := float64(b*100000) + float64(j)
+				if got := rb.Slice(int64(b)*n+j, 1)[0]; got != want {
+					t.Errorf("rank %d rb[%d][%d] = %v, want %v", r.ID(), b, j, got, want)
+					return
+				}
+			}
+		}
+	})
+	return m
+}
+
+func TestAllgatherPipelinedCorrect(t *testing.T) {
+	for _, p := range []int{2, 3, 8} {
+		runAG(t, p, 1000, Options{}, AllgatherPipelined)
+	}
+	runAG(t, 4, 300000, Options{}, AllgatherPipelined) // multi-slice
+}
+
+func TestAllgatherPipelinedDAV(t *testing.T) {
+	p := 4
+	n := int64(1 << 17)
+	m := runAG(t, p, n, Options{}, AllgatherPipelined)
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.PipelinedAllgather(s, p); got != want {
+		t.Errorf("allgather DAV = %d, want %d (2sp + 2sp^2)", got, want)
+	}
+}
+
+func TestAllgatherXPMEMCorrect(t *testing.T) {
+	runAG(t, 8, 1000, Options{}, AllgatherXPMEM)
+}
+
+func TestAllreduceXPMEMCorrectAndDAV(t *testing.T) {
+	for _, p := range []int{2, 3, 8} {
+		runAR(t, p, 1000, Options{}, AllreduceXPMEM)
+	}
+	p := 8
+	n := int64(8192)
+	m := runAR(t, p, n, Options{}, AllreduceXPMEM)
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.XPMEMAllreduce(s, p); got != want {
+		t.Errorf("xpmem AR DAV = %d, want %d (5s(p-1))", got, want)
+	}
+}
+
+func TestReduceScatterXPMEMCorrect(t *testing.T) {
+	runRS(t, topo.NodeA(), 8, 1024, Options{}, ReduceScatterXPMEM)
+}
+
+func TestReduceXPMEMCorrect(t *testing.T) {
+	p := 8
+	n := int64(999)
+	root := 5
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		ReduceXPMEM(r, r.World(), sb, rb, n, mpi.Sum, root, Options{})
+		if r.ID() == root {
+			for j := int64(0); j < n; j += 7 {
+				if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+					t.Errorf("root rb[%d] = %v, want %v", j, got, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestAllreduceCMACorrect(t *testing.T) {
+	for _, p := range []int{2, 3, 8} {
+		runAR(t, p, 1000, Options{}, AllreduceCMA)
+	}
+}
+
+func TestAllreduceTwoLevelCorrect(t *testing.T) {
+	// Both the balanced (explicit binding) and single-socket fallbacks.
+	node := topo.NodeA()
+	n := int64(2000)
+	m := mpi.NewMachineWithBinding(node, []int{0, 1, 2, 32, 33, 34}, true)
+	p := 6
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		AllreduceTwoLevel(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+		for j := int64(0); j < n; j += 19 {
+			if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+				t.Errorf("rank %d rb[%d] = %v, want %v", r.ID(), j, got, want)
+				return
+			}
+		}
+	})
+	runAR(t, 4, 500, Options{}, AllreduceTwoLevel) // single-socket fallback
+}
+
+func TestReduceScatterTwoLevelCorrect(t *testing.T) {
+	runRS(t, topo.NodeA(), 8, 300, Options{}, ReduceScatterTwoLevel)
+}
+
+func TestReduceTwoLevelCorrect(t *testing.T) {
+	p := 8
+	n := int64(500)
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		ReduceTwoLevel(r, r.World(), sb, rb, n, mpi.Sum, 1, Options{})
+		if r.ID() == 1 {
+			for j := int64(0); j < n; j++ {
+				if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+					t.Fatalf("root rb[%d] = %v, want %v", j, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestYHCCLDispatchSwitchesAlgorithms(t *testing.T) {
+	// Below the 256 KB switch the two-level path runs (no MA flags get
+	// created); above it the socket-MA path runs. Probe via correctness at
+	// both sizes and the sync counts differing in character.
+	for _, n := range []int64{1 << 10, 1 << 18} { // 8 KB and 2 MB
+		runAR(t, 8, n, Options{}, AllreduceYHCCL)
+	}
+}
+
+func TestYHCCLSmallMessageBeatsMA(t *testing.T) {
+	// The rationale for the switch (§5.1): at 16 KB the two-level
+	// reduction must beat the neighbour-chained MA reduction.
+	n := int64(16 << 10 / memmodel.ElemSize)
+	p := 48
+	tMA := mpi.NewMachine(topo.NodeB(), p, false).MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		AllreduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+	})
+	t2 := mpi.NewMachine(topo.NodeB(), p, false).MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		AllreduceTwoLevel(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+	})
+	if t2 >= tMA {
+		t.Errorf("two-level (%.4g) should beat socket-MA (%.4g) at 16 KB", t2, tMA)
+	}
+}
+
+func TestRegistriesResolve(t *testing.T) {
+	if _, err := Lookup(AllreduceAlgos, "yhccl"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup(AllreduceAlgos, "nope"); err == nil {
+		t.Error("lookup of unknown algorithm should fail")
+	}
+	if got := Names(BcastAlgos); len(got) != len(BcastAlgos) {
+		t.Error("Names incomplete")
+	}
+	// Every registered algorithm must at least run correctly at one size.
+	for name, alg := range AllreduceAlgos {
+		alg := alg
+		t.Run("allreduce/"+name, func(t *testing.T) {
+			runAR(t, 4, 777, Options{}, ARFunc(alg))
+		})
+	}
+	for name, alg := range ReduceScatterAlgos {
+		alg := alg
+		t.Run("reducescatter/"+name, func(t *testing.T) {
+			runRS(t, topo.NodeA(), 4, 256, Options{}, alg)
+		})
+	}
+	for name, alg := range BcastAlgos {
+		alg := alg
+		t.Run("bcast/"+name, func(t *testing.T) {
+			runBcast(t, 4, 512, 0, Options{}, alg)
+		})
+	}
+	for name, alg := range AllgatherAlgos {
+		alg := alg
+		t.Run("allgather/"+name, func(t *testing.T) {
+			runAG(t, 4, 512, Options{}, alg)
+		})
+	}
+	for name, alg := range ReduceAlgos {
+		alg := alg
+		t.Run("reduce/"+name, func(t *testing.T) {
+			p := 4
+			n := int64(512)
+			m := mpi.NewMachine(topo.NodeA(), p, true)
+			m.MustRun(func(r *mpi.Rank) {
+				sb := r.NewBuffer("sb", n)
+				rb := r.NewBuffer("rb", n)
+				r.FillPattern(sb, float64(r.ID()))
+				alg(r, r.World(), sb, rb, n, mpi.Sum, 0, Options{})
+				if r.ID() == 0 {
+					for j := int64(0); j < n; j += 3 {
+						if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+							t.Errorf("%s: rb[%d] = %v, want %v", name, j, got, want)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestAdaptivePolicyBeatsFixedOnLargeAllreduce(t *testing.T) {
+	// Fig. 12's headline: at large sizes, YHCCL (adaptive) beats t-copy
+	// (RFO-bound copy-out) and memmove, and matches/beats nt-copy.
+	n := int64(16 << 20 / memmodel.ElemSize) // 16 MB message
+	p := 48
+	time := func(pol memcopy.Policy) float64 {
+		m := mpi.NewMachine(topo.NodeB(), p, false)
+		o := Options{}.WithPolicy(pol)
+		return m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			// Model the application updating buffers between iterations.
+			r.Warm(sb, 0, n)
+			AllreduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, o)
+		})
+	}
+	tAdaptive := time(memcopy.Adaptive)
+	tT := time(memcopy.TCopy)
+	tMM := time(memcopy.Memmove)
+	if tAdaptive >= tT {
+		t.Errorf("adaptive (%.4g) should beat t-copy (%.4g) on 16 MB", tAdaptive, tT)
+	}
+	if tAdaptive >= tMM {
+		t.Errorf("adaptive (%.4g) should beat memmove (%.4g) on 16 MB", tAdaptive, tMM)
+	}
+}
+
+func TestAdaptivePolicyMatchesTCopyOnSmall(t *testing.T) {
+	// Fig. 12: on small messages adaptive == t-copy (no NT stores fired).
+	n := int64(64 << 10 / memmodel.ElemSize)
+	p := 48
+	time := func(pol memcopy.Policy) float64 {
+		m := mpi.NewMachine(topo.NodeB(), p, false)
+		o := Options{}.WithPolicy(pol)
+		return m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			// As in the paper's harness, the application updates sb and rb
+			// between iterations, so both are cache-resident.
+			r.Warm(sb, 0, n)
+			r.Warm(rb, 0, n)
+			AllreduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, o)
+		})
+	}
+	tA, tT, tNT := time(memcopy.Adaptive), time(memcopy.TCopy), time(memcopy.NTCopy)
+	if tA != tT {
+		t.Errorf("adaptive (%.6g) should equal t-copy (%.6g) on 64 KB", tA, tT)
+	}
+	if tA >= tNT {
+		t.Errorf("adaptive (%.6g) should beat nt-copy (%.6g) on 64 KB", tA, tNT)
+	}
+}

@@ -1,0 +1,198 @@
+package coll
+
+import (
+	"testing"
+
+	"yhccl/internal/dav"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// fillRankPattern writes value base+rank into every element of b so that a
+// sum-reduction over p ranks yields p*base + p(p-1)/2 ... we use simpler:
+// element i of rank k = k + i, so sum over ranks = p*i + p(p-1)/2.
+func expectSum(p int, i int64) float64 {
+	return float64(p)*float64(i) + float64(p*(p-1))/2
+}
+
+// runRS runs a reduce-scatter algorithm on a real machine and verifies the
+// result, returning the machine for counter inspection.
+func runRS(t *testing.T, node *topo.Node, p int, n int64, o Options,
+	alg func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options)) *mpi.Machine {
+	t.Helper()
+	m := mpi.NewMachine(node, p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		c := r.World()
+		sb := r.NewBuffer("sb", int64(p)*n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		alg(r, c, sb, rb, n, mpi.Sum, o)
+		// Block `me` of the sum: element j of rb is the sum over ranks k of
+		// (k + me*n + j).
+		for j := int64(0); j < n; j += 7 {
+			want := expectSum(p, int64(r.ID())*n+j)
+			if got := rb.Slice(j, 1)[0]; got != want {
+				t.Errorf("rank %d rb[%d] = %v, want %v", r.ID(), j, got, want)
+				return
+			}
+		}
+	})
+	return m
+}
+
+func TestReduceScatterMACorrect(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8} {
+		runRS(t, topo.NodeA(), p, 1000, Options{}, ReduceScatterMA)
+	}
+}
+
+func TestReduceScatterMAMultiChunk(t *testing.T) {
+	// Slice smaller than the block forces multiple passes per invocation.
+	o := Options{SliceMaxBytes: 512} // 64-element slices
+	runRS(t, topo.NodeA(), 4, 1000, o, ReduceScatterMA)
+}
+
+func TestReduceScatterMADAVMatchesTable1(t *testing.T) {
+	// Table 1: YHCCL reduce-scatter DAV = s*(3p-1), copy volume V = 2s.
+	p := 8
+	n := int64(4096)
+	m := runRS(t, topo.NodeA(), p, n, Options{}, ReduceScatterMA)
+	s := int64(p) * n * memmodel.ElemSize
+	c := m.Model.Counters()
+	if got, want := c.DAV(), dav.MAReduceScatter(s, p); got != want {
+		t.Errorf("DAV = %d, want %d (s*(3p-1))", got, want)
+	}
+	if got, want := c.CopyVolume, 2*s; got != want {
+		t.Errorf("copy volume V = %d, want %d (the proven optimum 2s)", got, want)
+	}
+}
+
+func TestReduceScatterMARepeatedInvocations(t *testing.T) {
+	// Flag epochs must survive repeated calls on the same communicator.
+	p := 4
+	n := int64(500)
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		c := r.World()
+		sb := r.NewBuffer("sb", int64(p)*n)
+		rb := r.NewBuffer("rb", n)
+		for iter := 0; iter < 3; iter++ {
+			r.FillPattern(sb, float64(r.ID()+iter))
+			ReduceScatterMA(r, c, sb, rb, n, mpi.Sum, Options{})
+			for j := int64(0); j < n; j += 13 {
+				want := expectSum(p, int64(r.ID())*n+j) + float64(p*iter)
+				if got := rb.Slice(j, 1)[0]; got != want {
+					t.Fatalf("iter %d rank %d rb[%d] = %v, want %v", iter, r.ID(), j, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestAllreduceMACorrect(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8} {
+		for _, n := range []int64{1, 7, 1000, 4096} {
+			m := mpi.NewMachine(topo.NodeA(), p, true)
+			m.MustRun(func(r *mpi.Rank) {
+				sb := r.NewBuffer("sb", n)
+				rb := r.NewBuffer("rb", n)
+				r.FillPattern(sb, float64(r.ID()))
+				AllreduceMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+				for j := int64(0); j < n; j += 11 {
+					if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+						t.Errorf("p=%d n=%d rank %d rb[%d] = %v, want %v", p, n, r.ID(), j, got, want)
+						return
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceMADAVMatchesTable2(t *testing.T) {
+	// Table 2: YHCCL (MA reduction) all-reduce DAV = s*(5p-1). Block-even
+	// sizes only (ragged tails change the constant slightly).
+	p := 8
+	n := int64(8192) // divisible by p
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		AllreduceMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+	})
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.MAAllreduce(s, p); got != want {
+		t.Errorf("DAV = %d, want %d (s*(5p-1))", got, want)
+	}
+}
+
+func TestAllreduceMAMaxOp(t *testing.T) {
+	p := 4
+	n := int64(100)
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()*1000))
+		AllreduceMA(r, r.World(), sb, rb, n, mpi.Max, Options{})
+		for j := int64(0); j < n; j++ {
+			want := float64((p-1)*1000) + float64(j)
+			if got := rb.Slice(j, 1)[0]; got != want {
+				t.Fatalf("rank %d rb[%d] = %v, want %v", r.ID(), j, got, want)
+			}
+		}
+	})
+}
+
+func TestReduceMACorrect(t *testing.T) {
+	for _, root := range []int{0, 2} {
+		p := 4
+		n := int64(900)
+		m := mpi.NewMachine(topo.NodeA(), p, true)
+		m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			r.FillPattern(sb, float64(r.ID()))
+			ReduceMA(r, r.World(), sb, rb, n, mpi.Sum, root, Options{})
+			if r.ID() == root {
+				for j := int64(0); j < n; j += 17 {
+					if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+						t.Errorf("root rb[%d] = %v, want %v", j, got, want)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestReduceMADAVMatchesTable3(t *testing.T) {
+	p := 8
+	n := int64(8192)
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		ReduceMA(r, r.World(), sb, rb, n, mpi.Sum, 0, Options{})
+	})
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.MAReduce(s, p); got != want {
+		t.Errorf("DAV = %d, want %d (s*(3p+1))", got, want)
+	}
+}
+
+func TestMADeterministicTiming(t *testing.T) {
+	run := func() float64 {
+		m := mpi.NewMachine(topo.NodeA(), 8, false)
+		return m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", 1<<16)
+			rb := r.NewBuffer("rb", 1<<16)
+			AllreduceMA(r, r.World(), sb, rb, 1<<16, mpi.Sum, Options{})
+		})
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,118 @@
+package coll
+
+import (
+	"testing"
+
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// TestMixedAlgorithmsShareMachine interleaves every registered all-reduce
+// algorithm repeatedly on ONE machine/communicator: per-algorithm flag
+// epochs, shared segments and p2p channels must not interfere.
+func TestMixedAlgorithmsShareMachine(t *testing.T) {
+	const p = 8
+	const n = 2048
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	names := Names(AllreduceAlgos)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		for round := 0; round < 2; round++ {
+			for _, name := range names {
+				alg := AllreduceAlgos[name]
+				base := float64(r.ID() + round*31)
+				r.FillPattern(sb, base)
+				alg(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+				for j := int64(0); j < n; j += 97 {
+					want := expectSum(p, j) + float64(p*round*31)
+					if got := rb.Slice(j, 1)[0]; got != want {
+						t.Errorf("round %d alg %s rank %d rb[%d] = %v, want %v",
+							round, name, r.ID(), j, got, want)
+						return
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestMixedCollectivesShareMachine runs different collective types
+// back-to-back on one machine.
+func TestMixedCollectivesShareMachine(t *testing.T) {
+	const p = 8
+	const n = 1024
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", int64(p)*n)
+		small := r.NewBuffer("small", n)
+		rb := r.NewBuffer("rb", n)
+		big := r.NewBuffer("big", int64(p)*n)
+
+		r.FillPattern(sb, float64(r.ID()))
+		ReduceScatterYHCCL(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+
+		r.FillPattern(small, float64(r.ID()))
+		AllreduceYHCCL(r, r.World(), small, rb, n, mpi.Sum, Options{})
+		if got := rb.Slice(3, 1)[0]; got != expectSum(p, 3) {
+			t.Errorf("allreduce after reduce-scatter: %v", got)
+		}
+
+		if r.ID() == 0 {
+			r.FillPattern(small, 42)
+		}
+		BcastPipelined(r, r.World(), small, n, 0, Options{})
+		if got := small.Slice(9, 1)[0]; got != 51 {
+			t.Errorf("bcast after allreduce: %v", got)
+		}
+
+		AllgatherPipelined(r, r.World(), small, big, n, mpi.Sum, Options{})
+		if got := big.Slice(int64(p-1)*n, 1)[0]; got != 42 {
+			t.Errorf("allgather after bcast: %v", got)
+		}
+
+		ReduceYHCCL(r, r.World(), small, rb, n, mpi.Sum, 2, Options{})
+		if r.ID() == 2 {
+			if got := rb.Slice(0, 1)[0]; got != 42*float64(p) {
+				t.Errorf("reduce after allgather: %v, want %v", got, 42*float64(p))
+			}
+		}
+	})
+}
+
+// TestOptionsDefaults checks the zero-value behaviour documented on
+// Options.
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Policy.String() != "adaptive" {
+		t.Errorf("default policy = %v", o.Policy)
+	}
+	if o.SliceMaxBytes != DefaultSliceMaxBytes {
+		t.Errorf("default Imax = %d", o.SliceMaxBytes)
+	}
+	if o.RGDegree != 2 {
+		t.Errorf("default k = %d", o.RGDegree)
+	}
+	if o.SwitchSmallBytes != DefaultSwitchSmallBytes {
+		t.Errorf("default switch = %d", o.SwitchSmallBytes)
+	}
+	// Negative switch disables.
+	o2 := Options{SwitchSmallBytes: -1}.withDefaults()
+	if o2.SwitchSmallBytes != -1 {
+		t.Error("negative switch should be preserved (disabled)")
+	}
+}
+
+// TestSliceRule verifies I = max(min(s/p, Imax), cache line).
+func TestSliceRule(t *testing.T) {
+	o := Options{}.withDefaults() // Imax = 256 KB = 32768 elems
+	if got := sliceElems(1<<20, o); got != 32768 {
+		t.Errorf("big block: I = %d, want Imax", got)
+	}
+	if got := sliceElems(100, o); got != 100 {
+		t.Errorf("small block: I = %d, want block", got)
+	}
+	if got := sliceElems(3, o); got != 8 {
+		t.Errorf("tiny block: I = %d, want cache line floor 8", got)
+	}
+}

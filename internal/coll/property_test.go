@@ -1,0 +1,114 @@
+package coll
+
+import (
+	"math/rand"
+	"testing"
+
+	"yhccl/internal/memcopy"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// TestPropertyAllreduceArbitrarySizes fuzzes (algorithm, p, n) combinations:
+// every registered all-reduce must produce exact results for any size,
+// including primes, one, and sizes straddling slice and block boundaries.
+func TestPropertyAllreduceArbitrarySizes(t *testing.T) {
+	names := Names(AllreduceAlgos)
+	rng := rand.New(rand.NewSource(42))
+	sizes := []int64{1, 2, 7, 63, 64, 65, 1023, 4096, 10007}
+	for trial := 0; trial < 24; trial++ {
+		name := names[rng.Intn(len(names))]
+		alg := AllreduceAlgos[name]
+		p := 2 + rng.Intn(7)
+		n := sizes[rng.Intn(len(sizes))]
+		m := mpi.NewMachine(topo.NodeA(), p, true)
+		m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			r.FillPattern(sb, float64(r.ID()))
+			alg(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+			for j := int64(0); j < n; j++ {
+				if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+					t.Errorf("trial %d: %s p=%d n=%d rank %d rb[%d] = %v, want %v",
+						trial, name, p, n, r.ID(), j, got, want)
+					return
+				}
+			}
+		})
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// TestPropertyReduceScatterArbitrarySizes does the same for reduce-scatter.
+func TestPropertyReduceScatterArbitrarySizes(t *testing.T) {
+	names := Names(ReduceScatterAlgos)
+	rng := rand.New(rand.NewSource(43))
+	sizes := []int64{1, 9, 64, 65, 511, 4096}
+	for trial := 0; trial < 18; trial++ {
+		name := names[rng.Intn(len(names))]
+		alg := ReduceScatterAlgos[name]
+		p := 2 + rng.Intn(7)
+		n := sizes[rng.Intn(len(sizes))]
+		m := mpi.NewMachine(topo.NodeA(), p, true)
+		m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", int64(p)*n)
+			rb := r.NewBuffer("rb", n)
+			r.FillPattern(sb, float64(r.ID()))
+			alg(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+			for j := int64(0); j < n; j++ {
+				want := expectSum(p, int64(r.ID())*n+j)
+				if got := rb.Slice(j, 1)[0]; got != want {
+					t.Errorf("trial %d: %s p=%d n=%d rank %d rb[%d] = %v, want %v",
+						trial, name, p, n, r.ID(), j, got, want)
+					return
+				}
+			}
+		})
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// TestPropertyTimingMonotoneInSize asserts simulated time grows with
+// message size for the YHCCL all-reduce (sanity of the cost model).
+func TestPropertyTimingMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int64{1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20} {
+		m := mpi.NewMachine(topo.NodeB(), 16, false)
+		elapsed := m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			AllreduceYHCCL(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+		})
+		if elapsed <= prev {
+			t.Errorf("n=%d: time %.4g not greater than smaller size's %.4g", n, elapsed, prev)
+		}
+		prev = elapsed
+	}
+}
+
+// TestPropertyDAVIndependentOfPolicy: copy-kind choices change timing and
+// DRAM traffic but never the logical access volume.
+func TestPropertyDAVIndependentOfPolicy(t *testing.T) {
+	n := int64(1 << 16)
+	p := 8
+	var davs []int64
+	for _, pol := range []memcopy.Policy{memcopy.Memmove, memcopy.TCopy, memcopy.NTCopy, memcopy.Adaptive} {
+		m := mpi.NewMachine(topo.NodeA(), p, true)
+		o := Options{}.WithPolicy(pol)
+		m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			AllreduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, o)
+		})
+		davs = append(davs, m.Model.Counters().DAV())
+	}
+	for _, d := range davs[1:] {
+		if d != davs[0] {
+			t.Fatalf("DAV varies with copy policy: %v", davs)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package coll
+
+import (
+	"testing"
+
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// expectPrefix is the inclusive prefix sum of (k + j) over ranks k = 0..me.
+func expectPrefix(me int, j int64) float64 {
+	return float64(me+1)*float64(j) + float64(me*(me+1))/2
+}
+
+func runScan(t *testing.T, p int, n int64, o Options, alg ScanFunc) *mpi.Machine {
+	t.Helper()
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		alg(r, r.World(), sb, rb, n, mpi.Sum, o)
+		for j := int64(0); j < n; j += 13 {
+			want := expectPrefix(r.ID(), j)
+			if got := rb.Slice(j, 1)[0]; got != want {
+				t.Errorf("rank %d rb[%d] = %v, want %v", r.ID(), j, got, want)
+				return
+			}
+		}
+	})
+	return m
+}
+
+func TestScanAlgorithmsCorrect(t *testing.T) {
+	for name, alg := range ScanAlgos {
+		alg := alg
+		t.Run(name, func(t *testing.T) {
+			for _, p := range []int{1, 2, 3, 8} {
+				runScan(t, p, 777, Options{}, alg)
+			}
+		})
+	}
+}
+
+func TestScanChainMultiSlice(t *testing.T) {
+	// Small slices force pipelining through the double-buffered slots.
+	runScan(t, 4, 5000, Options{SliceMaxBytes: 1024}, ScanChain)
+}
+
+func TestScanChainRepeatedInvocations(t *testing.T) {
+	p := 4
+	n := int64(400)
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		for iter := 0; iter < 3; iter++ {
+			r.FillPattern(sb, float64(r.ID()+iter))
+			ScanChain(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+			want := expectPrefix(r.ID(), 7) + float64(iter*(r.ID()+1))
+			if got := rb.Slice(7, 1)[0]; got != want {
+				t.Fatalf("iter %d rank %d: %v, want %v", iter, r.ID(), got, want)
+			}
+		}
+	})
+}
+
+func TestScanChainBeatsShmOnLargeMessages(t *testing.T) {
+	// The chain form publishes only partials (O(ps) accesses) while the
+	// parallel form's fold is O(p^2 s): the chain must win at scale.
+	n := int64(1 << 17) // 1 MB
+	p := 32
+	time := func(alg ScanFunc) float64 {
+		m := mpi.NewMachine(topo.NodeA(), p, false)
+		body := func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("sb", n)
+			rb := r.PersistentBuffer("rb", n)
+			r.Warm(sb, 0, n)
+			alg(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+		}
+		m.MustRun(body)
+		return m.MustRun(body)
+	}
+	if chain, shm := time(ScanChain), time(ScanShm); chain >= shm {
+		t.Errorf("chain scan (%.4g) should beat parallel-fold scan (%.4g) at 1 MB x 32 ranks", chain, shm)
+	}
+}

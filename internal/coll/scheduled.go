@@ -1,0 +1,108 @@
+package coll
+
+import (
+	"fmt"
+
+	"yhccl/internal/memcopy"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/schedule"
+	"yhccl/internal/shm"
+)
+
+// ReduceScatterScheduled executes an arbitrary valid sliced-reduction
+// schedule (internal/schedule, the paper's §3.1 formalism) on the machine:
+// tree i produces block i (n elements) into rank i's rb, from send buffers
+// of p*n elements. The MA and DPML schedules are special cases; custom
+// schedules can be evaluated for both correctness and modelled cost.
+//
+// Execution is phased by node index j: each rank first performs the
+// copy-ins feeding phase-j nodes, then its phase-j reductions, waiting on
+// per-copy and per-node flags. Any schedule satisfying the §3.1
+// constraints executes deadlock-free; chunks are separated by a barrier.
+func ReduceScatterScheduled(r *mpi.Rank, c *mpi.Comm, sched schedule.Schedule,
+	sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options) error {
+	o = o.withDefaults()
+	p := c.Size()
+	if err := sched.Validate(p); err != nil {
+		return err
+	}
+	me := c.CommRank(r.ID())
+	if p == 1 {
+		r.CopyElems(rb, 0, sb, 0, n, memmodel.Temporal)
+		return nil
+	}
+	I := sliceElems(n, o)
+
+	// Shared state: per tree, one result slot per node and one copy slot
+	// per process slice; flag arrays per tree for results and copies.
+	resSlots := c.Shared(fmt.Sprintf("sched/res/I=%d", I), 0, int64(p)*int64(p-1)*I)
+	cpSlots := c.Shared(fmt.Sprintf("sched/cp/I=%d", I), 0, int64(p)*int64(p)*I)
+	resOff := func(i, j int) int64 { return (int64(i)*int64(p-1) + int64(j)) * I }
+	cpOff := func(i, x int) int64 { return (int64(i)*int64(p) + int64(x)) * I }
+	resFlags := make([][]*shm.Flag, p)
+	cpFlags := make([][]*shm.Flag, p)
+	for i := 0; i < p; i++ {
+		resFlags[i] = c.Flags(fmt.Sprintf("sched/resf/%d", i))
+		cpFlags[i] = c.Flags(fmt.Sprintf("sched/cpf/%d", i))
+	}
+	base := *c.Counter(r, "sched/base")
+	w := (int64(p)*int64(p)*n + int64(p)*n + int64(p)*int64(2*p)*I) * memmodel.ElemSize
+	hIn := hints(c.Machine(), false, w)
+
+	// operand resolves to (buffer, offset), waiting on the producer.
+	operand := func(i int, opnd schedule.Operand, start int64, epoch uint64) (*memmodel.Buffer, int64) {
+		if opnd.IsSlice {
+			if opnd.X == me {
+				return sb, int64(i)*n + start
+			}
+			cpFlags[i][opnd.X].Wait(r.Proc(), r.Core(), epoch)
+			return cpSlots, cpOff(i, opnd.X)
+		}
+		resFlags[i][opnd.Ref].Wait(r.Proc(), r.Core(), epoch)
+		return resSlots, resOff(i, opnd.Ref)
+	}
+
+	numChunks := ceilDiv(n, I)
+	for chunk := int64(0); chunk < numChunks; chunk++ {
+		start := chunk * I
+		ln := min64(I, n-start)
+		epoch := uint64(base + chunk + 1)
+		for j := 0; j < p-1; j++ {
+			// Phase j copy-ins: my slices feeding other ranks' nodes.
+			for i := 0; i < p; i++ {
+				node := sched[i][j]
+				for _, opnd := range []schedule.Operand{node.A, node.B} {
+					if opnd.IsSlice && opnd.X == me && node.R != me {
+						memcopy.Copy(r, o.Policy, cpSlots, cpOff(i, me), sb, int64(i)*n+start, ln, hIn)
+						cpFlags[i][me].Set(r.Proc(), epoch)
+					}
+				}
+			}
+			// Phase j reductions assigned to me.
+			for i := 0; i < p; i++ {
+				node := sched[i][j]
+				if node.R != me {
+					continue
+				}
+				aBuf, aOff := operand(i, node.A, start, epoch)
+				bBuf, bOff := operand(i, node.B, start, epoch)
+				dst, dOff := resSlots, resOff(i, j)
+				if j == p-2 && i == me {
+					dst, dOff = rb, start
+				}
+				r.CombineElems(dst, dOff, aBuf, aOff, bBuf, bOff, ln, op, memmodel.Temporal)
+				resFlags[i][j].Set(r.Proc(), epoch)
+			}
+		}
+		// If my block's final node ran on another rank, copy it out.
+		if final := sched[me][p-2]; final.R != me {
+			resFlags[me][p-2].Wait(r.Proc(), r.Core(), epoch)
+			r.CopyElems(rb, start, resSlots, resOff(me, p-2), ln, memmodel.Temporal)
+		}
+		// Slot-reuse protection between chunks.
+		c.Barrier().Arrive(r.Proc())
+	}
+	*c.Counter(r, "sched/base") = base + numChunks
+	return nil
+}

@@ -1,0 +1,162 @@
+package coll
+
+import (
+	"testing"
+
+	"yhccl/internal/dav"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+func TestReduceScatterSocketMACorrect(t *testing.T) {
+	// NodeA with p=8 spans both sockets only with an explicit binding;
+	// block binding puts 8 ranks on socket 0, so use 64 to exercise the
+	// two-level path and also a scatter binding at small p.
+	runRS(t, topo.NodeA(), 64, 96, Options{}, ReduceScatterSocketMA)
+}
+
+func TestReduceScatterSocketMAScatterBinding(t *testing.T) {
+	// 4 ranks, 2 per socket via explicit binding (block: 0,1 -> s0; 32,33 -> s1).
+	node := topo.NodeA()
+	m := mpi.NewMachineWithBinding(node, []int{0, 1, 32, 33}, true)
+	p := 4
+	n := int64(500)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", int64(p)*n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		ReduceScatterSocketMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+		for j := int64(0); j < n; j += 7 {
+			want := expectSum(p, int64(r.ID())*n+j)
+			if got := rb.Slice(j, 1)[0]; got != want {
+				t.Errorf("rank %d rb[%d] = %v, want %v", r.ID(), j, got, want)
+				return
+			}
+		}
+	})
+}
+
+func TestReduceScatterSocketMADAV(t *testing.T) {
+	// DAV = s*(3p+2m-3) for block-even sizes.
+	node := topo.NodeA()
+	m := mpi.NewMachineWithBinding(node, []int{0, 1, 2, 3, 32, 33, 34, 35}, true)
+	p := 8
+	n := int64(1024)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", int64(p)*n)
+		rb := r.NewBuffer("rb", n)
+		ReduceScatterSocketMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+	})
+	s := int64(p) * n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.SocketMAReduceScatter(s, p, 2); got != want {
+		t.Errorf("DAV = %d, want %d (s*(3p+2m-3))", got, want)
+	}
+}
+
+func TestAllreduceSocketMACorrectAndDAV(t *testing.T) {
+	node := topo.NodeA()
+	m := mpi.NewMachineWithBinding(node, []int{0, 1, 2, 3, 32, 33, 34, 35}, true)
+	p := 8
+	n := int64(8192)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		AllreduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+		for j := int64(0); j < n; j += 101 {
+			if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+				t.Errorf("rank %d rb[%d] = %v, want %v", r.ID(), j, got, want)
+				return
+			}
+		}
+	})
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.SocketMAAllreduce(s, p, 2); got != want {
+		t.Errorf("DAV = %d, want %d (s*(5p+2m-3))", got, want)
+	}
+}
+
+func TestAllreduceSocketMARaggedSizes(t *testing.T) {
+	node := topo.NodeA()
+	for _, n := range []int64{1, 13, 999, 4097} {
+		m := mpi.NewMachineWithBinding(node, []int{0, 1, 32, 33}, true)
+		m.MustRun(func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			r.FillPattern(sb, float64(r.ID()))
+			AllreduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+			for j := int64(0); j < n; j++ {
+				if got, want := rb.Slice(j, 1)[0], expectSum(4, j); got != want {
+					t.Errorf("n=%d rank %d rb[%d] = %v, want %v", n, r.ID(), j, got, want)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestReduceSocketMACorrectAndDAV(t *testing.T) {
+	node := topo.NodeA()
+	m := mpi.NewMachineWithBinding(node, []int{0, 1, 2, 3, 32, 33, 34, 35}, true)
+	p := 8
+	n := int64(8192)
+	root := 3
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		ReduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, root, Options{})
+		if r.ID() == root {
+			for j := int64(0); j < n; j += 31 {
+				if got, want := rb.Slice(j, 1)[0], expectSum(p, j); got != want {
+					t.Errorf("root rb[%d] = %v, want %v", j, got, want)
+					return
+				}
+			}
+		}
+	})
+	s := n * memmodel.ElemSize
+	if got, want := m.Model.Counters().DAV(), dav.SocketMAReduce(s, p, 2); got != want {
+		t.Errorf("DAV = %d, want %d (s*(3p+2m-1))", got, want)
+	}
+}
+
+func TestSocketMAFallsBackOnSingleSocket(t *testing.T) {
+	// 4 ranks all on socket 0: must fall back to flat MA and still be right.
+	m := mpi.NewMachine(topo.NodeA(), 4, true)
+	n := int64(256)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		AllreduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+		for j := int64(0); j < n; j += 3 {
+			if got, want := rb.Slice(j, 1)[0], expectSum(4, j); got != want {
+				t.Fatalf("rb[%d] = %v, want %v", j, got, want)
+			}
+		}
+	})
+}
+
+func TestSocketMAFewerSyncsThanFlatMA(t *testing.T) {
+	// The whole point of the socket-aware design: fewer serialized
+	// synchronizations. Compare simulated time on a two-socket 48-rank
+	// NodeB at a mid-size message.
+	n := int64(1 << 15) // 256 KB
+	flat := mpi.NewMachine(topo.NodeB(), 48, false)
+	tFlat := flat.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		AllreduceMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+	})
+	sock := mpi.NewMachine(topo.NodeB(), 48, false)
+	tSock := sock.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		AllreduceSocketMA(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+	})
+	if tSock >= tFlat {
+		t.Errorf("socket-aware (%.3g) should beat flat MA (%.3g) at 256 KB on 48 ranks", tSock, tFlat)
+	}
+}

@@ -1,0 +1,118 @@
+package coll
+
+import (
+	"fmt"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+)
+
+// The two-level parallel reduction (§5.1): for messages too small to
+// benefit from MA reduction (sync-bound regime, s <= 256 KB), YHCCL
+// optimizes the DPML parallel reduction with the socket hierarchy — one
+// copy-in, one intra-socket parallel reduce, one cross-socket combine —
+// so the whole collective costs a constant number of barriers instead of
+// the MA neighbour chain.
+
+// AllreduceTwoLevel is the small-message all-reduce: copy-in to per-socket
+// segments, intra-socket parallel block reduction, cross-socket combine
+// into a node segment, copy-out.
+func AllreduceTwoLevel(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options) {
+	twoLevelReduce(r, c, sb, n, op, o, "2lvl-ar", func(res *memmodel.Buffer) {
+		for off := int64(0); off < n; off += dpmlSliceElems {
+			ln := min64(dpmlSliceElems, n-off)
+			r.CopyElems(rb, off, res, off, ln, memmodel.Temporal)
+		}
+	})
+}
+
+// ReduceTwoLevel is the small-message rooted reduce.
+func ReduceTwoLevel(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, root int, o Options) {
+	me := c.CommRank(r.ID())
+	twoLevelReduce(r, c, sb, n, op, o, "2lvl-red", func(res *memmodel.Buffer) {
+		if me != root {
+			return
+		}
+		r.CopyElems(rb, 0, res, 0, n, memmodel.Temporal)
+	})
+}
+
+// ReduceScatterTwoLevel is the small-message reduce-scatter: sb has p*n,
+// rank b keeps block b.
+func ReduceScatterTwoLevel(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options) {
+	me := int64(c.CommRank(r.ID()))
+	total := int64(c.Size()) * n
+	twoLevelReduce(r, c, sb, total, op, o, "2lvl-rs", func(res *memmodel.Buffer) {
+		r.CopyElems(rb, 0, res, me*n, n, memmodel.Temporal)
+	})
+}
+
+// twoLevelReduce reduces the full n-element message into a node shared
+// segment and hands it to finish after a barrier.
+func twoLevelReduce(r *mpi.Rank, c *mpi.Comm, sb *memmodel.Buffer, n int64, op mpi.Op, o Options,
+	label string, finish func(res *memmodel.Buffer)) {
+	o = o.withDefaults()
+	mach := c.Machine()
+	p := c.Size()
+	me := c.CommRank(r.ID())
+
+	if !socketsBalanced(c) {
+		// Single socket or irregular binding: plain DPML shape.
+		segs, res := dpmlCopyIn(r, c, sb, n, label+"/flat")
+		c.Barrier().Arrive(r.Proc())
+		bn := ceilDiv(n, int64(p))
+		lo := int64(me) * bn
+		if lo < n {
+			dpmlReduceBlock(r, segs, res, lo, min64(bn, n-lo), op)
+		}
+		c.Barrier().Arrive(r.Proc())
+		finish(res)
+		c.Barrier().Arrive(r.Proc())
+		return
+	}
+
+	m := mach.Sockets()
+	sc := r.SocketComm()
+	q := sc.Size()
+	u := sc.CommRank(r.ID())
+
+	// Level 1: copy-in to the socket segment set, intra-socket parallel
+	// reduction of per-rank sub-blocks into the socket partial.
+	segs := make([]*memmodel.Buffer, q)
+	for k := 0; k < q; k++ {
+		segs[k] = sc.Shared(fmt.Sprintf("%s/seg%d/n=%d", label, k, n), r.Socket(), n)
+	}
+	partial := sc.Shared(fmt.Sprintf("%s/partial/n=%d", label, n), r.Socket(), n)
+	r.CopyElems(segs[u], 0, sb, 0, n, memmodel.Temporal)
+	sc.Barrier().Arrive(r.Proc())
+	bq := ceilDiv(n, int64(q))
+	lo := int64(u) * bq
+	if lo < n {
+		dpmlReduceBlock(r, segs, partial, lo, min64(bq, n-lo), op)
+	}
+	c.Barrier().Arrive(r.Proc())
+
+	// Level 2: cross-socket combine into the node result. Rank i handles
+	// sub-block i of p.
+	res := c.Shared(fmt.Sprintf("%s/res/n=%d", label, n), 0, n)
+	bp := ceilDiv(n, int64(p))
+	lo = int64(me) * bp
+	if lo < n {
+		ln := min64(bp, n-lo)
+		parts := make([]*memmodel.Buffer, m)
+		for k := 0; k < m; k++ {
+			parts[k] = mach.SocketComm(k).Shared(fmt.Sprintf("%s/partial/n=%d", label, n), k, n)
+		}
+		if m == 1 {
+			r.CopyElems(res, lo, parts[0], lo, ln, memmodel.Temporal)
+		} else {
+			r.CombineElems(res, lo, parts[0], lo, parts[1], lo, ln, op, memmodel.Temporal)
+			for k := 2; k < m; k++ {
+				r.AccumulateElems(res, lo, parts[k], lo, ln, op, memmodel.Temporal)
+			}
+		}
+	}
+	c.Barrier().Arrive(r.Proc())
+	finish(res)
+	c.Barrier().Arrive(r.Proc())
+}

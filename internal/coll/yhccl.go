@@ -1,0 +1,167 @@
+package coll
+
+import (
+	"fmt"
+	"sort"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+)
+
+// This file is the YHCCL top level (§2.3, Fig. 4): algorithm switching
+// between the movement-avoiding reductions (large messages) and the
+// two-level parallel reduction (small messages), plus the registries the
+// benchmark harness and CLI tools select algorithms from.
+
+// RSFunc is a reduce-scatter algorithm: sb has p*n elements, rank i's rb
+// receives block i (n elements).
+type RSFunc func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options)
+
+// ARFunc is an all-reduce algorithm over n-element buffers.
+type ARFunc func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options)
+
+// ReduceFunc is a rooted reduce.
+type ReduceFunc func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, root int, o Options)
+
+// BcastFunc is a broadcast over a single n-element buffer.
+type BcastFunc func(r *mpi.Rank, c *mpi.Comm, buf *memmodel.Buffer, n int64, root int, o Options)
+
+// AGFunc is an all-gather: sb has n elements, rb has p*n.
+type AGFunc func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options)
+
+// ReduceScatterYHCCL applies the paper's algorithm switch: two-level
+// parallel reduction at or below SwitchSmallBytes of total message,
+// socket-aware MA reduction above.
+func ReduceScatterYHCCL(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options) {
+	o = o.withDefaults()
+	if total := int64(c.Size()) * n * memmodel.ElemSize; o.SwitchSmallBytes > 0 && total <= o.SwitchSmallBytes {
+		ReduceScatterTwoLevel(r, c, sb, rb, n, op, o)
+		return
+	}
+	ReduceScatterSocketMA(r, c, sb, rb, n, op, o)
+}
+
+// AllreduceYHCCL is the switched all-reduce.
+func AllreduceYHCCL(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options) {
+	o = o.withDefaults()
+	if s := n * memmodel.ElemSize; o.SwitchSmallBytes > 0 && s <= o.SwitchSmallBytes {
+		AllreduceTwoLevel(r, c, sb, rb, n, op, o)
+		return
+	}
+	AllreduceSocketMA(r, c, sb, rb, n, op, o)
+}
+
+// ReduceYHCCL is the switched rooted reduce.
+func ReduceYHCCL(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, root int, o Options) {
+	o = o.withDefaults()
+	if s := n * memmodel.ElemSize; o.SwitchSmallBytes > 0 && s <= o.SwitchSmallBytes {
+		ReduceTwoLevel(r, c, sb, rb, n, op, root, o)
+		return
+	}
+	ReduceSocketMA(r, c, sb, rb, n, op, root, o)
+}
+
+// BcastBinomial is the binomial-tree broadcast over the two-copy
+// shared-memory transport (the classic small-message algorithm of MPICH
+// and Open MPI tuned).
+func BcastBinomial(r *mpi.Rank, c *mpi.Comm, buf *memmodel.Buffer, n int64, root int, o Options) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	me := c.CommRank(r.ID())
+	v := (me - root + p) % p
+	actual := func(w int) int { return (w + root) % p }
+	mask := 1
+	for mask < p {
+		if v&mask != 0 {
+			r.Recv(c, actual(v-mask), buf, 0, n, memmodel.Temporal)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if v+mask < p && v&(mask-1) == 0 && v&mask == 0 {
+			r.Send(c, actual(v+mask), buf, 0, n)
+		}
+		mask >>= 1
+	}
+}
+
+// Registries: algorithm name -> implementation, used by the harness and
+// the CLI tools. Names match the paper's figure legends.
+
+// ReduceScatterAlgos maps names to reduce-scatter algorithms.
+var ReduceScatterAlgos = map[string]RSFunc{
+	"yhccl":        ReduceScatterYHCCL,
+	"socket-ma":    ReduceScatterSocketMA,
+	"ma":           ReduceScatterMA,
+	"dpml":         ReduceScatterDPML,
+	"ring":         ReduceScatterRing,
+	"rabenseifner": ReduceScatterRabenseifner,
+	"xpmem":        ReduceScatterXPMEM,
+	"two-level":    ReduceScatterTwoLevel,
+}
+
+// AllreduceAlgos maps names to all-reduce algorithms.
+var AllreduceAlgos = map[string]ARFunc{
+	"yhccl":        AllreduceYHCCL,
+	"socket-ma":    AllreduceSocketMA,
+	"ma":           AllreduceMA,
+	"dpml":         AllreduceDPML,
+	"ring":         AllreduceRing,
+	"rabenseifner": AllreduceRabenseifner,
+	"rg":           AllreduceRG,
+	"xpmem":        AllreduceXPMEM,
+	"cma":          AllreduceCMA,
+	"two-level":    AllreduceTwoLevel,
+}
+
+// ReduceAlgos maps names to rooted-reduce algorithms.
+var ReduceAlgos = map[string]ReduceFunc{
+	"yhccl":     ReduceYHCCL,
+	"socket-ma": ReduceSocketMA,
+	"ma":        ReduceMA,
+	"dpml":      ReduceDPML,
+	"rg":        ReduceRG,
+	"xpmem":     ReduceXPMEM,
+	"two-level": ReduceTwoLevel,
+}
+
+// BcastAlgos maps names to broadcast algorithms.
+var BcastAlgos = map[string]BcastFunc{
+	"yhccl":     BcastPipelined,
+	"pipelined": BcastPipelined,
+	"binomial":  BcastBinomial,
+	"xpmem":     BcastXPMEM,
+	"cma":       BcastCMA,
+}
+
+// AllgatherAlgos maps names to all-gather algorithms.
+var AllgatherAlgos = map[string]AGFunc{
+	"yhccl":     AllgatherPipelined,
+	"pipelined": AllgatherPipelined,
+	"ring":      AllgatherRing,
+	"xpmem":     AllgatherXPMEM,
+}
+
+// Names returns the sorted algorithm names of a registry map (generic
+// helper for the CLIs' usage strings).
+func Names[F any](algos map[string]F) []string {
+	out := make([]string, 0, len(algos))
+	for k := range algos {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the named algorithm or an error listing alternatives.
+func Lookup[F any](algos map[string]F, name string) (F, error) {
+	if f, ok := algos[name]; ok {
+		return f, nil
+	}
+	var zero F
+	return zero, fmt.Errorf("coll: unknown algorithm %q (have %v)", name, Names(algos))
+}

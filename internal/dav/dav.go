@@ -1,0 +1,175 @@
+// Package dav provides the closed-form data-access-volume (DAV) formulas of
+// the paper's Tables 1-3, plus this repository's own derivations where the
+// paper's constant terms are ambiguous. The collective implementations in
+// internal/coll are tested against these formulas: the memmodel counters
+// measured during a run must equal the closed form exactly.
+//
+// All functions return bytes per node for a message of s bytes, p processes
+// and (where applicable) m sockets or branching degree k.
+package dav
+
+// RingReduceScatter is Table 1's Ring row: 5*s*(p-1).
+//
+// Derivation (shared-memory two-copy transport): p-1 steps; per step each
+// rank copies one s/p slice into staging (2 units) and fuses receive+reduce
+// on another (3 units): 5*(s/p) per rank-step, p ranks.
+func RingReduceScatter(s int64, p int) int64 {
+	return 5 * s * int64(p-1)
+}
+
+// RabenseifnerReduceScatter is Table 1's Rabenseifner row:
+// 5*s*p*(1/2 + 1/4 + ... + 1/p) = 5*s*(p-1) for power-of-two p (recursive
+// halving: the exchanged volume halves each of the log2(p) steps).
+func RabenseifnerReduceScatter(s int64, p int) int64 {
+	total := int64(0)
+	for chunk := s / 2; ; chunk /= 2 {
+		total += 5 * chunk * int64(p)
+		if chunk*int64(p) <= s { // reached the 1/p term
+			break
+		}
+	}
+	return total
+}
+
+// DPMLReduceScatter is Table 1's DPML row: s*(5p-1).
+//
+// Copy-in of every send buffer (2sp) + parallel reduction of p-1 operand
+// pairs per block into shared memory (3s(p-1)) + per-rank copy-out of its
+// block (2s).
+func DPMLReduceScatter(s int64, p int) int64 {
+	return s * int64(5*p-1)
+}
+
+// MAReduceScatter is Table 1's YHCCL row: s*(3p-1) — the proven optimum
+// 2s of copy volume plus 3s(p-1) of reduction accesses.
+func MAReduceScatter(s int64, p int) int64 {
+	return s * int64(3*p-1)
+}
+
+// SocketMAReduceScatter is the socket-aware variant (§3.3): s*(3p+2m-3).
+func SocketMAReduceScatter(s int64, p, m int) int64 {
+	return s * int64(3*p+2*m-3)
+}
+
+// RingAllreduce is Table 2's Ring row: 7*s*(p-1) — ring reduce-scatter
+// (5s(p-1)) whose final reduced slices land in shared memory, followed by
+// copy-out of the p-1 non-local blocks per rank (2s(p-1)).
+func RingAllreduce(s int64, p int) int64 {
+	return 7 * s * int64(p-1)
+}
+
+// RabenseifnerAllreduce is Table 2's Rabenseifner row (recursive halving +
+// doubling): 7*s*p*(1/2 + ... + 1/p) = 7*s*(p-1) for power-of-two p.
+func RabenseifnerAllreduce(s int64, p int) int64 {
+	total := int64(0)
+	for chunk := s / 2; ; chunk /= 2 {
+		total += 7 * chunk * int64(p)
+		if chunk*int64(p) <= s {
+			break
+		}
+	}
+	return total
+}
+
+// DPMLAllreduce is Table 2's DPML row: s*(7p-1). This repository's
+// implementation measures s*(7p-3): the paper's extra 2s corresponds to the
+// reducing rank re-copying its own block, which our implementation (like
+// Fig. 2a) does not need. See EXPERIMENTS.md.
+func DPMLAllreduce(s int64, p int) int64 {
+	return s * int64(7*p-1)
+}
+
+// DPMLAllreduceImpl is the DAV our DPML implementation achieves: s*(7p-3).
+func DPMLAllreduceImpl(s int64, p int) int64 {
+	return s * int64(7*p-3)
+}
+
+// RGAllreduce is Table 2's RG row:
+// s*p*(5k/(k+1) + 3k/(k+1)^2 + ... + 3k/p + 2).
+func RGAllreduce(s int64, p, k int) int64 {
+	return int64(float64(s) * float64(p) * (rgSum(p, k) + 2))
+}
+
+// RGReduce is Table 3's RG row: s*p*(5k/(k+1) + 3k/(k+1)^2 + ... + 3k/p).
+func RGReduce(s int64, p, k int) int64 {
+	return int64(float64(s) * float64(p) * rgSum(p, k))
+}
+
+// rgSum evaluates 5k/(k+1) + 3k/(k+1)^2 + ... + 3k/p.
+func rgSum(p, k int) float64 {
+	sum := 5 * float64(k) / float64(k+1)
+	for lvl := (k + 1) * (k + 1); lvl <= p; lvl *= k + 1 {
+		sum += 3 * float64(k) / float64(lvl)
+	}
+	return sum
+}
+
+// MAAllreduce is Table 2's YHCCL (MA reduction) row: s*(5p-1) — MA
+// reduce-scatter into shared memory (3p-1) plus full copy-out by every rank
+// (2p).
+func MAAllreduce(s int64, p int) int64 {
+	return s * int64(5*p-1)
+}
+
+// SocketMAAllreduce is Table 2's socket-aware row: s*(5p+2m-3).
+func SocketMAAllreduce(s int64, p, m int) int64 {
+	return s * int64(5*p+2*m-3)
+}
+
+// DPMLReduce is Table 3's DPML row: s*(5p+1). Our implementation measures
+// s*(5p-1) (copy-in 2sp + reduce 3s(p-1) + root copy-out 2s); the paper's
+// +2s again appears to double-count the first operand. See EXPERIMENTS.md.
+func DPMLReduce(s int64, p int) int64 {
+	return s * int64(5*p+1)
+}
+
+// DPMLReduceImpl is the DAV our DPML reduce achieves: s*(5p-1).
+func DPMLReduceImpl(s int64, p int) int64 {
+	return s * int64(5*p-1)
+}
+
+// MAReduce is Table 3's YHCCL (MA reduction) row: s*(3p+1) — MA
+// reduce-scatter into shared memory plus the root's copy-out (2s).
+func MAReduce(s int64, p int) int64 {
+	return s * int64(3*p+1)
+}
+
+// SocketMAReduce is Table 3's socket-aware row: s*(3p+2m-1).
+func SocketMAReduce(s int64, p, m int) int64 {
+	return s * int64(3*p+2*m-1)
+}
+
+// RingAllreduceImpl is the DAV our ring all-reduce achieves:
+// 7s(p-1) + 2s — ring reduce-scatter (5s(p-1)) plus the shared-memory
+// block gather (each rank publishes its block, 2s, and copies the other
+// p-1 blocks out, 2s(p-1)). The paper's Table 2 lists 7s(p-1); the +2s is
+// the publish step its accounting folds into the reduce-scatter phase.
+func RingAllreduceImpl(s int64, p int) int64 {
+	return 7*s*int64(p-1) + 2*s
+}
+
+// RabenseifnerAllreduceImpl equals RingAllreduceImpl for power-of-two p:
+// recursive halving (5s(p-1)) plus the same shared-memory gather.
+func RabenseifnerAllreduceImpl(s int64, p int) int64 {
+	return RingAllreduceImpl(s, p)
+}
+
+// XPMEMAllreduce is the kernel-assisted single-copy ring all-reduce the
+// paper compares against (§5.5): 5*s*(p-1) — 3s(p-1) for the direct-access
+// reduce-scatter plus 2s(p-1) for the direct-access all-gather.
+func XPMEMAllreduce(s int64, p int) int64 {
+	return 5 * s * int64(p-1)
+}
+
+// PipelinedBcast is the DAV of the shared-memory pipelined broadcast: the
+// root copies s in (2s), every non-root copies s out (2s each).
+func PipelinedBcast(s int64, p int) int64 {
+	return 2*s + 2*s*int64(p-1)
+}
+
+// PipelinedAllgather: every rank copies its s in (2sp total) and copies the
+// aggregate s*p out (2sp^2 total... per node: 2*s*p + 2*s*p*p with s the
+// per-rank contribution).
+func PipelinedAllgather(s int64, p int) int64 {
+	return 2*s*int64(p) + 2*s*int64(p)*int64(p)
+}

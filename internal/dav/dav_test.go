@@ -1,0 +1,139 @@
+package dav
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const mb = int64(1) << 20
+
+func TestRingEqualsRabenseifnerForPow2(t *testing.T) {
+	// Both reduce-scatter forms collapse to 5s(p-1) for power-of-two p.
+	for _, p := range []int{2, 4, 8, 16, 64} {
+		ring := RingReduceScatter(mb, p)
+		rab := RabenseifnerReduceScatter(mb, p)
+		if ring != rab {
+			t.Errorf("p=%d: ring %d != rabenseifner %d", p, ring, rab)
+		}
+	}
+}
+
+func TestYHCCLBeatsBaselinesFromP4(t *testing.T) {
+	// Paper §3.4/§3.5: the flat MA forms have the smallest DAV for p >= 4;
+	// the socket-aware forms pay +2(m-1)s and win from p = 8 on.
+	for _, p := range []int{4, 8, 16, 32, 64} {
+		if ma := MAAllreduce(mb, p); ma >= RingAllreduce(mb, p) ||
+			ma >= DPMLAllreduce(mb, p) || ma >= RGAllreduce(mb, p, 2) {
+			t.Errorf("p=%d: MA allreduce DAV %d not smallest (ring %d dpml %d rg %d)",
+				p, ma, RingAllreduce(mb, p), DPMLAllreduce(mb, p), RGAllreduce(mb, p, 2))
+		}
+		if mr := MAReduce(mb, p); mr >= DPMLReduce(mb, p) || mr > RGReduce(mb, p, 2) {
+			t.Errorf("p=%d: MA reduce DAV %d not smallest (dpml %d rg %d)",
+				p, mr, DPMLReduce(mb, p), RGReduce(mb, p, 2))
+		}
+		if rs := MAReduceScatter(mb, p); rs >= RingReduceScatter(mb, p) || rs >= DPMLReduceScatter(mb, p) {
+			t.Errorf("p=%d: MA reduce-scatter DAV %d not smallest", p, rs)
+		}
+	}
+	for _, p := range []int{8, 16, 32, 64} {
+		m := 2
+		if ma := SocketMAAllreduce(mb, p, m); ma >= RingAllreduce(mb, p) ||
+			ma >= DPMLAllreduce(mb, p) || ma >= RGAllreduce(mb, p, 2) {
+			t.Errorf("p=%d: socket-MA allreduce DAV %d not smallest", p, ma)
+		}
+		// RG reduce's shallow tree is very lean on DAV at small p; the
+		// socket-aware form overtakes it from p = 16.
+		if p >= 16 {
+			if mr := SocketMAReduce(mb, p, m); mr >= DPMLReduce(mb, p) || mr >= RGReduce(mb, p, 2) {
+				t.Errorf("p=%d: socket-MA reduce DAV %d not smallest", p, mr)
+			}
+		}
+	}
+}
+
+func TestMAEliminatesAbout40PercentVsDPML(t *testing.T) {
+	// §2.2/abstract: redundant movements are ~40% of accesses; MA removes
+	// 2s(p) - 2s of DPML's 5sp-1 — the ratio approaches 2/5 for large p.
+	p := 64
+	saving := float64(DPMLReduceScatter(mb, p)-MAReduceScatter(mb, p)) /
+		float64(DPMLReduceScatter(mb, p))
+	if saving < 0.35 || saving > 0.45 {
+		t.Errorf("MA saves %.1f%% of DPML's DAV, want ~40%%", saving*100)
+	}
+}
+
+func TestSocketAwareTradeoff(t *testing.T) {
+	// Socket-aware MA pays +2(m-1)s DAV over flat MA.
+	p, m := 64, 2
+	diff := SocketMAReduceScatter(mb, p, m) - MAReduceScatter(mb, p)
+	if diff != 2*mb*int64(m-1) {
+		t.Errorf("socket-aware overhead = %d, want %d", diff, 2*mb*int64(m-1))
+	}
+}
+
+func TestRGFormulaGrowsWithDegree(t *testing.T) {
+	// A larger branching degree makes more ranks leaves that must copy in
+	// (the 5k/(k+1) term grows toward 5), so DAV increases with k.
+	p := 64
+	if RGAllreduce(mb, p, 2) >= RGAllreduce(mb, p, 8) {
+		t.Error("RG DAV should grow with branching degree")
+	}
+}
+
+func TestAllFormulasScaleLinearlyInS(t *testing.T) {
+	f := func(raw uint16) bool {
+		s := int64(raw)*64 + 64
+		p := 8
+		checks := []struct{ a, b int64 }{
+			{RingReduceScatter(2*s, p), 2 * RingReduceScatter(s, p)},
+			{DPMLAllreduce(2*s, p), 2 * DPMLAllreduce(s, p)},
+			{MAAllreduce(2*s, p), 2 * MAAllreduce(s, p)},
+			{SocketMAReduce(2*s, p, 2), 2 * SocketMAReduce(s, p, 2)},
+			{XPMEMAllreduce(2*s, p), 2 * XPMEMAllreduce(s, p)},
+			{PipelinedBcast(2*s, p), 2 * PipelinedBcast(s, p)},
+			{PipelinedAllgather(2*s, p), 2 * PipelinedAllgather(s, p)},
+		}
+		for _, c := range checks {
+			if c.a != c.b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedForms(t *testing.T) {
+	p := 8
+	if got, want := PipelinedBcast(mb, p), 2*mb+2*mb*int64(p-1); got != want {
+		t.Errorf("bcast DAV = %d, want %d", got, want)
+	}
+	if got, want := PipelinedAllgather(mb, p), 2*mb*int64(p)+2*mb*int64(p)*int64(p); got != want {
+		t.Errorf("allgather DAV = %d, want %d", got, want)
+	}
+	if got, want := XPMEMAllreduce(mb, p), 5*mb*int64(p-1); got != want {
+		t.Errorf("xpmem DAV = %d, want %d", got, want)
+	}
+	if RingAllreduceImpl(mb, p) != RabenseifnerAllreduceImpl(mb, p) {
+		t.Error("ring and rabenseifner impl forms should coincide for pow2 p")
+	}
+	if RabenseifnerAllreduce(mb, 8) != 7*mb*7 {
+		t.Errorf("rabenseifner allreduce closed form: %d", RabenseifnerAllreduce(mb, 8))
+	}
+	if got := RGAllreduce(mb, 9, 2) - RGReduce(mb, 9, 2); got != 2*mb*9 {
+		t.Errorf("RG allreduce - reduce = %d, want 2sp", got)
+	}
+}
+
+func TestImplVariantsCloseToPaper(t *testing.T) {
+	// Our derived constants differ from the paper's tables by at most 2s.
+	p := 64
+	if d := DPMLAllreduce(mb, p) - DPMLAllreduceImpl(mb, p); d != 2*mb {
+		t.Errorf("DPML allreduce delta = %d, want 2s", d)
+	}
+	if d := DPMLReduce(mb, p) - DPMLReduceImpl(mb, p); d != 2*mb {
+		t.Errorf("DPML reduce delta = %d, want 2s", d)
+	}
+}

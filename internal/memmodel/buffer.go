@@ -1,0 +1,111 @@
+// Package memmodel implements the memory-system cost model that stands in
+// for the real multi-core hardware of the paper's evaluation platforms.
+//
+// Every data operation a collective performs — loads, temporal stores
+// (write-allocate, with Request-For-Ownership on a miss), non-temporal
+// stores (cache bypass) and fused reductions — is charged to the acting
+// rank's virtual clock based on where the data currently resides (cache or
+// DRAM, local or remote socket) and on calibrated bandwidths from
+// internal/topo. A region-granular residency tracker per socket models the
+// write-allocate cache: it answers "how much of this range is cached?",
+// allocates on loads and temporal stores, evicts least-recently-used
+// regions when capacity is exceeded (charging write-back traffic for dirty
+// ones) and is bypassed/invalidated by non-temporal stores.
+//
+// The model also maintains the counters the paper's analysis is built on:
+// logical data-access volume (DAV: bytes loaded + stored, the quantity in
+// Tables 1-3), copy volume V, and DRAM traffic (including RFO line fills
+// and write-backs, the quantity behind Table 4 and Figs. 12-14).
+package memmodel
+
+import "fmt"
+
+// StoreKind selects between write-allocate and cache-bypassing stores.
+type StoreKind int
+
+const (
+	// Temporal is a regular store: write-allocate, RFO on miss.
+	Temporal StoreKind = iota
+	// NonTemporal bypasses the cache and writes straight to DRAM.
+	NonTemporal
+)
+
+// String returns "temporal" or "non-temporal".
+func (k StoreKind) String() string {
+	if k == NonTemporal {
+		return "non-temporal"
+	}
+	return "temporal"
+}
+
+// Space says which address space a buffer lives in.
+type Space int
+
+const (
+	// Private memory belongs to a single process (its send/recv buffers).
+	Private Space = iota
+	// Shared memory is a process-shared segment (copy-in/copy-out target).
+	Shared
+)
+
+// String returns "private" or "shared".
+func (s Space) String() string {
+	if s == Shared {
+		return "shared"
+	}
+	return "private"
+}
+
+// Buffer is a modelled memory buffer. Element type is float64 (8 bytes), the
+// payload type of every experiment in the repository. Data may be nil when
+// the buffer is used in model-only (timing) mode; all cost accounting works
+// identically either way.
+type Buffer struct {
+	// ID is unique within a Model, used as the residency-tracking key.
+	ID uint64
+	// Name is a diagnostic label ("rank3/sendbuf", "shm/slice").
+	Name string
+	// Space distinguishes private from shared memory.
+	Space Space
+	// Home is the socket whose DRAM physically backs the buffer
+	// (first-touch NUMA placement).
+	Home int
+	// Elems is the length in float64 elements.
+	Elems int64
+	// Pinned marks the buffer as permanently cache-resident: accesses run
+	// at cache speed, generate no DRAM traffic and do not occupy residency
+	// capacity. It models small, heavily-reused transport rings (the
+	// send/recv staging of shared-memory MPI) whose physical footprint is a
+	// few chunks even when the logical message is large.
+	Pinned bool
+	// Data holds real payload when non-nil (len == Elems).
+	Data []float64
+}
+
+// ElemSize is the size of one buffer element in bytes.
+const ElemSize = 8
+
+// Bytes returns the buffer size in bytes.
+func (b *Buffer) Bytes() int64 { return b.Elems * ElemSize }
+
+// Real reports whether the buffer carries actual data.
+func (b *Buffer) Real() bool { return b.Data != nil }
+
+// Slice returns the real data in [off, off+n) elements, panicking on
+// model-only buffers or out-of-range access. Collectives use it through the
+// DataMover abstraction in internal/coll.
+func (b *Buffer) Slice(off, n int64) []float64 {
+	if b.Data == nil {
+		panic(fmt.Sprintf("memmodel: Slice of model-only buffer %q", b.Name))
+	}
+	b.CheckRange(off, n)
+	return b.Data[off : off+n]
+}
+
+// CheckRange panics unless [off, off+n) elements lie within the buffer.
+func (b *Buffer) CheckRange(off, n int64) {
+	if off < 0 || n < 0 || off+n > b.Elems {
+		panic(fmt.Sprintf("memmodel: range [%d,%d) out of buffer %q (%d elems)",
+			off, off+n, b.Name, b.Elems))
+	}
+}

@@ -1,0 +1,242 @@
+package memmodel
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// cacheState tracks, for one socket, which byte ranges of which buffers are
+// currently cache-resident. Tracking is region-granular rather than
+// line-granular: collectives access memory in contiguous slice-sized ranges,
+// so a handful of intervals per buffer suffices and the tracker stays O(1)
+// per operation in practice. internal/cachesim provides a line-granular
+// simulator used to validate this approximation.
+//
+// Regions are kept in a recency list (LRU at the front). Inserting a region
+// that overlaps existing ones trims the old regions; inserting beyond
+// capacity evicts from the LRU end, reporting how many dirty bytes were
+// written back so the caller can charge DRAM traffic.
+type cacheState struct {
+	socket   int
+	capacity int64
+	used     int64
+	lru      *list.List           // of *region, front = LRU
+	byBuf    map[uint64][]*region // per-buffer, sorted by lo
+}
+
+// region is a cached byte range [lo, hi) of one buffer.
+type region struct {
+	buf    uint64
+	lo, hi int64
+	dirty  bool
+	elem   *list.Element
+}
+
+func (r *region) len() int64 { return r.hi - r.lo }
+
+func newCacheState(socket int, capacity int64) *cacheState {
+	if capacity <= 0 {
+		panic("memmodel: cache capacity must be positive")
+	}
+	return &cacheState{
+		socket:   socket,
+		capacity: capacity,
+		lru:      list.New(),
+		byBuf:    make(map[uint64][]*region),
+	}
+}
+
+// lookup returns how many bytes of [lo, hi) of buffer b are cached.
+func (c *cacheState) lookup(buf uint64, lo, hi int64) int64 {
+	var cached int64
+	for _, r := range c.byBuf[buf] {
+		if r.hi <= lo {
+			continue
+		}
+		if r.lo >= hi {
+			break
+		}
+		a, b := max64(r.lo, lo), min64(r.hi, hi)
+		cached += b - a
+	}
+	return cached
+}
+
+// lookupDirty returns how many bytes of [lo, hi) are cached dirty.
+func (c *cacheState) lookupDirty(buf uint64, lo, hi int64) int64 {
+	var dirty int64
+	for _, r := range c.byBuf[buf] {
+		if r.hi <= lo || !r.dirty {
+			continue
+		}
+		if r.lo >= hi {
+			break
+		}
+		a, b := max64(r.lo, lo), min64(r.hi, hi)
+		dirty += b - a
+	}
+	return dirty
+}
+
+// insert makes [lo, hi) of buffer b cache-resident with the given dirty
+// state, evicting LRU regions as needed. It returns the number of dirty
+// bytes written back by evictions (including dirty bytes of overlapped
+// older regions whose contents are superseded: those are NOT counted, the
+// new store subsumes them).
+func (c *cacheState) insert(buf uint64, lo, hi int64, dirty bool) (writeback int64) {
+	if lo >= hi {
+		return 0
+	}
+	// A region larger than the whole cache leaves only its tail resident
+	// (streaming through the cache evicts its own head).
+	if hi-lo > c.capacity {
+		lo = hi - c.capacity
+	}
+	c.remove(buf, lo, hi)
+	r := &region{buf: buf, lo: lo, hi: hi, dirty: dirty}
+	r.elem = c.lru.PushBack(r)
+	c.byBuf[buf] = insertSorted(c.byBuf[buf], r)
+	c.used += r.len()
+	for c.used > c.capacity {
+		victim := c.lru.Front().Value.(*region)
+		if victim == r && c.lru.Len() == 1 {
+			break // cannot evict the region we just inserted entirely
+		}
+		c.evict(victim)
+		if victim.dirty {
+			writeback += victim.len()
+		}
+	}
+	return writeback
+}
+
+// invalidate drops [lo, hi) of buffer b from the cache without write-back
+// (a non-temporal store supersedes any cached copy).
+func (c *cacheState) invalidate(buf uint64, lo, hi int64) {
+	c.remove(buf, lo, hi)
+}
+
+// invalidateBuffer drops every cached region of the buffer.
+func (c *cacheState) invalidateBuffer(buf uint64) {
+	regions := c.byBuf[buf]
+	for _, r := range regions {
+		c.lru.Remove(r.elem)
+		c.used -= r.len()
+	}
+	delete(c.byBuf, buf)
+}
+
+// remove deletes [lo, hi) from the tracked regions of buffer b, splitting
+// regions that partially overlap. Split fragments keep the original
+// recency position and dirty bit.
+func (c *cacheState) remove(buf uint64, lo, hi int64) {
+	old := c.byBuf[buf]
+	if len(old) == 0 {
+		return
+	}
+	// The split case emits two regions for one consumed, so kept must not
+	// alias old's backing array.
+	kept := make([]*region, 0, len(old)+1)
+	for _, r := range old {
+		switch {
+		case r.hi <= lo || r.lo >= hi: // disjoint
+			kept = append(kept, r)
+		case r.lo >= lo && r.hi <= hi: // fully covered: drop
+			c.lru.Remove(r.elem)
+			c.used -= r.len()
+		case r.lo < lo && r.hi > hi: // covers the hole: split in two
+			c.used -= hi - lo
+			tail := &region{buf: buf, lo: hi, hi: r.hi, dirty: r.dirty}
+			tail.elem = c.lru.InsertAfter(tail, r.elem)
+			r.hi = lo
+			kept = append(kept, r, tail)
+		case r.lo < lo: // overlaps from the left: trim tail
+			c.used -= r.hi - lo
+			r.hi = lo
+			kept = append(kept, r)
+		default: // overlaps from the right: trim head
+			c.used -= hi - r.lo
+			r.lo = hi
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(c.byBuf, buf)
+	} else {
+		c.byBuf[buf] = kept
+	}
+}
+
+// evict removes a whole region from the cache (LRU victim).
+func (c *cacheState) evict(r *region) {
+	c.lru.Remove(r.elem)
+	c.used -= r.len()
+	regions := c.byBuf[r.buf]
+	for i, rr := range regions {
+		if rr == r {
+			c.byBuf[r.buf] = append(regions[:i], regions[i+1:]...)
+			break
+		}
+	}
+	if len(c.byBuf[r.buf]) == 0 {
+		delete(c.byBuf, r.buf)
+	}
+}
+
+// occupancy returns the number of cached bytes (for tests/diagnostics).
+func (c *cacheState) occupancy() int64 { return c.used }
+
+// checkInvariants verifies internal consistency (test helper).
+func (c *cacheState) checkInvariants() error {
+	var total int64
+	count := 0
+	for buf, regions := range c.byBuf {
+		var prev int64 = -1
+		for _, r := range regions {
+			if r.lo >= r.hi {
+				return fmt.Errorf("empty region %+v in buf %d", r, buf)
+			}
+			if r.lo < prev {
+				return fmt.Errorf("regions of buf %d out of order or overlapping", buf)
+			}
+			prev = r.hi
+			total += r.len()
+			count++
+		}
+	}
+	if total != c.used {
+		return fmt.Errorf("used = %d but regions sum to %d", c.used, total)
+	}
+	if count != c.lru.Len() {
+		return fmt.Errorf("region count %d != lru len %d", count, c.lru.Len())
+	}
+	if c.used > c.capacity {
+		return fmt.Errorf("used %d exceeds capacity %d", c.used, c.capacity)
+	}
+	return nil
+}
+
+func insertSorted(regions []*region, r *region) []*region {
+	i := 0
+	for i < len(regions) && regions[i].lo < r.lo {
+		i++
+	}
+	regions = append(regions, nil)
+	copy(regions[i+1:], regions[i:])
+	regions[i] = r
+	return regions
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

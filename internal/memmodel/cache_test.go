@@ -1,0 +1,202 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheLookupEmpty(t *testing.T) {
+	c := newCacheState(0, 1024)
+	if got := c.lookup(1, 0, 100); got != 0 {
+		t.Fatalf("lookup on empty cache = %d, want 0", got)
+	}
+}
+
+func TestCacheInsertAndLookup(t *testing.T) {
+	c := newCacheState(0, 1024)
+	c.insert(1, 0, 100, false)
+	if got := c.lookup(1, 0, 100); got != 100 {
+		t.Fatalf("lookup = %d, want 100", got)
+	}
+	if got := c.lookup(1, 50, 150); got != 50 {
+		t.Fatalf("partial lookup = %d, want 50", got)
+	}
+	if got := c.lookup(2, 0, 100); got != 0 {
+		t.Fatalf("other buffer lookup = %d, want 0", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheOverlappingInsertNoDoubleCount(t *testing.T) {
+	c := newCacheState(0, 10240)
+	c.insert(1, 0, 100, false)
+	c.insert(1, 50, 150, false)
+	if got := c.lookup(1, 0, 150); got != 150 {
+		t.Fatalf("lookup = %d, want 150", got)
+	}
+	if c.occupancy() != 150 {
+		t.Fatalf("occupancy = %d, want 150", c.occupancy())
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheInsertSplitsCoveringRegion(t *testing.T) {
+	c := newCacheState(0, 10240)
+	c.insert(1, 0, 300, true)
+	c.insert(1, 100, 200, false) // punches a clean hole in a dirty region
+	if got := c.lookupDirty(1, 0, 300); got != 200 {
+		t.Fatalf("dirty bytes = %d, want 200", got)
+	}
+	if got := c.lookup(1, 0, 300); got != 300 {
+		t.Fatalf("cached bytes = %d, want 300", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheLRUEvictionAndWriteback(t *testing.T) {
+	c := newCacheState(0, 200)
+	if wb := c.insert(1, 0, 100, true); wb != 0 {
+		t.Fatalf("writeback = %d, want 0", wb)
+	}
+	if wb := c.insert(2, 0, 100, false); wb != 0 {
+		t.Fatalf("writeback = %d, want 0", wb)
+	}
+	// Inserting 100 more evicts buffer 1 (LRU, dirty) -> 100 bytes back.
+	if wb := c.insert(3, 0, 100, false); wb != 100 {
+		t.Fatalf("writeback = %d, want 100", wb)
+	}
+	if got := c.lookup(1, 0, 100); got != 0 {
+		t.Fatalf("evicted buffer still cached: %d bytes", got)
+	}
+	if got := c.lookup(2, 0, 100); got != 100 {
+		t.Fatalf("buffer 2 should survive, cached %d", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheCleanEvictionNoWriteback(t *testing.T) {
+	c := newCacheState(0, 100)
+	c.insert(1, 0, 100, false)
+	if wb := c.insert(2, 0, 100, false); wb != 0 {
+		t.Fatalf("clean eviction produced writeback %d", wb)
+	}
+}
+
+func TestCacheStreamingRegionLargerThanCapacity(t *testing.T) {
+	c := newCacheState(0, 100)
+	wb := c.insert(1, 0, 1000, true)
+	if c.occupancy() > 100 {
+		t.Fatalf("occupancy %d exceeds capacity", c.occupancy())
+	}
+	// Only the tail should remain.
+	if got := c.lookup(1, 900, 1000); got != 100 {
+		t.Fatalf("tail cached = %d, want 100", got)
+	}
+	if got := c.lookup(1, 0, 900); got != 0 {
+		t.Fatalf("head cached = %d, want 0", got)
+	}
+	_ = wb
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newCacheState(0, 1024)
+	c.insert(1, 0, 200, true)
+	c.invalidate(1, 50, 150)
+	if got := c.lookup(1, 0, 200); got != 100 {
+		t.Fatalf("after invalidate, cached = %d, want 100", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheInvalidateBuffer(t *testing.T) {
+	c := newCacheState(0, 1024)
+	c.insert(1, 0, 200, true)
+	c.insert(2, 0, 200, true)
+	c.invalidateBuffer(1)
+	if got := c.lookup(1, 0, 200); got != 0 {
+		t.Fatalf("buffer 1 still cached: %d", got)
+	}
+	if got := c.lookup(2, 0, 200); got != 200 {
+		t.Fatalf("buffer 2 lost: %d", got)
+	}
+	if c.occupancy() != 200 {
+		t.Fatalf("occupancy = %d, want 200", c.occupancy())
+	}
+}
+
+func TestCacheRecencyOrder(t *testing.T) {
+	c := newCacheState(0, 300)
+	c.insert(1, 0, 100, false)
+	c.insert(2, 0, 100, false)
+	c.insert(3, 0, 100, false)
+	// Re-insert buffer 1 (most recent now), then overflow: buffer 2 is LRU.
+	c.insert(1, 0, 100, false)
+	c.insert(4, 0, 100, false)
+	if got := c.lookup(2, 0, 100); got != 0 {
+		t.Fatalf("LRU buffer 2 should be evicted, cached %d", got)
+	}
+	if got := c.lookup(1, 0, 100); got != 100 {
+		t.Fatalf("recently used buffer 1 evicted")
+	}
+}
+
+func TestCacheRandomOpsInvariants(t *testing.T) {
+	// Property: any interleaving of inserts/invalidates/lookups keeps the
+	// tracker internally consistent and under capacity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := newCacheState(0, 4096)
+		for i := 0; i < 300; i++ {
+			buf := uint64(rng.Intn(5) + 1)
+			lo := int64(rng.Intn(8192))
+			hi := lo + int64(rng.Intn(1024)+1)
+			switch rng.Intn(4) {
+			case 0, 1:
+				c.insert(buf, lo, hi, rng.Intn(2) == 0)
+			case 2:
+				c.invalidate(buf, lo, hi)
+			case 3:
+				got := c.lookup(buf, lo, hi)
+				if got < 0 || got > hi-lo {
+					return false
+				}
+			}
+			if err := c.checkInvariants(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheLookupNeverExceedsRange(t *testing.T) {
+	f := func(lo8, len8 uint8) bool {
+		c := newCacheState(0, 1<<20)
+		c.insert(1, 0, 1000, false)
+		lo := int64(lo8)
+		hi := lo + int64(len8) + 1
+		got := c.lookup(1, lo, hi)
+		return got >= 0 && got <= hi-lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

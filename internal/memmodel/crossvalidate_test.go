@@ -1,0 +1,200 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"yhccl/internal/cachesim"
+	"yhccl/internal/sim"
+	"yhccl/internal/topo"
+)
+
+// These tests cross-validate the region-granular residency model against
+// the line-granular set-associative simulator in internal/cachesim: for
+// the streaming access patterns collectives generate, both must predict
+// closely matching DRAM traffic.
+
+// traceOp is one recorded access.
+type traceOp struct {
+	buf  int // buffer index
+	off  int64
+	n    int64
+	kind int // 0 load, 1 store, 2 nt-store
+}
+
+// runTrace pushes the trace through both models and returns their DRAM
+// traffic in bytes. Buffers are laid out contiguously in the cachesim
+// address space.
+func runTrace(t *testing.T, capacity int64, bufElems []int64, trace []traceOp) (regionTraffic, lineTraffic int64) {
+	t.Helper()
+
+	// Region model: a single-socket node with the given capacity.
+	node := &topo.Node{
+		Name: "XV", Sockets: 1, CoresPerSocket: 1,
+		L2PerCore: 64, L3PerSocket: capacity - 64, L3Inclusive: false,
+		DRAMBandwidthPerSocket: 1e9, DRAMBandwidthPerCore: 1e9,
+		CacheBandwidthPerCore: 1e10, L3BandwidthPerSocket: 1e10,
+		CrossSocketFactor: 1, SyncLatencyIntra: 1e-9, SyncLatencyInter: 1e-9,
+		ReducePerCoreBandwidth: 1e10,
+	}
+	m := New(node, []int{0})
+	bufs := make([]*Buffer, len(bufElems))
+	for i, n := range bufElems {
+		bufs[i] = m.NewBuffer("b", Private, 0, n, false)
+	}
+	e := sim.NewEngine()
+	e.Spawn("p", func(p *sim.Proc) {
+		for _, op := range trace {
+			b := bufs[op.buf]
+			switch op.kind {
+			case 0:
+				m.Load(p, 0, b, op.off, op.n)
+			case 1:
+				m.Store(p, 0, b, op.off, op.n, Temporal)
+			case 2:
+				m.Store(p, 0, b, op.off, op.n, NonTemporal)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	regionTraffic = m.Counters().DRAMTraffic
+
+	// Line model: same capacity, 8-way, 64-byte lines.
+	c := cachesim.MustNew(cachesim.Config{SizeBytes: capacity, LineSize: 64, Ways: 8})
+	base := make([]int64, len(bufElems))
+	addr := int64(0)
+	for i, n := range bufElems {
+		base[i] = addr
+		addr += n * ElemSize
+		// Separate buffers by a page to avoid line sharing.
+		addr = (addr + 4095) &^ 4095
+	}
+	for _, op := range trace {
+		a := base[op.buf] + op.off*ElemSize
+		sz := op.n * ElemSize
+		switch op.kind {
+		case 0:
+			c.Load(a, sz)
+		case 1:
+			c.Store(a, sz)
+		case 2:
+			c.StoreNT(a, sz)
+		}
+	}
+	c.Flush()
+	lineTraffic = c.Stats().DRAMTraffic()
+	return regionTraffic, lineTraffic
+}
+
+// ratioWithin asserts |a/b - 1| <= tol.
+func ratioWithin(t *testing.T, label string, a, b int64, tol float64) {
+	t.Helper()
+	if b == 0 {
+		t.Fatalf("%s: line model predicted zero traffic", label)
+	}
+	r := float64(a) / float64(b)
+	if r < 1-tol || r > 1+tol {
+		t.Errorf("%s: region model %d vs line model %d bytes (ratio %.3f, tol %.0f%%)",
+			label, a, b, r, tol*100)
+	}
+}
+
+func TestCrossValidateStreamingCopy(t *testing.T) {
+	// Large t-copy: both models must predict ~3 bytes of traffic per byte.
+	capacity := int64(1 << 16)
+	elems := int64(1 << 14) // 128 KB per buffer, 4x capacity
+	var trace []traceOp
+	for off := int64(0); off < elems; off += 512 {
+		trace = append(trace, traceOp{buf: 0, off: off, n: 512, kind: 0})
+		trace = append(trace, traceOp{buf: 1, off: off, n: 512, kind: 1})
+	}
+	a, b := runTrace(t, capacity, []int64{elems, elems}, trace)
+	ratioWithin(t, "streaming t-copy", a, b, 0.10)
+}
+
+func TestCrossValidateNTCopy(t *testing.T) {
+	capacity := int64(1 << 16)
+	elems := int64(1 << 14)
+	var trace []traceOp
+	for off := int64(0); off < elems; off += 512 {
+		trace = append(trace, traceOp{buf: 0, off: off, n: 512, kind: 0})
+		trace = append(trace, traceOp{buf: 1, off: off, n: 512, kind: 2})
+	}
+	a, b := runTrace(t, capacity, []int64{elems, elems}, trace)
+	ratioWithin(t, "streaming nt-copy", a, b, 0.10)
+}
+
+func TestCrossValidateCacheResidentReuse(t *testing.T) {
+	// Working set fits: after warm-up both models predict (almost) no
+	// further traffic.
+	capacity := int64(1 << 18)
+	elems := int64(1 << 13) // 64 KB buffer in a 256 KB cache
+	var trace []traceOp
+	for rep := 0; rep < 5; rep++ {
+		for off := int64(0); off < elems; off += 512 {
+			trace = append(trace, traceOp{buf: 0, off: off, n: 512, kind: 0})
+			trace = append(trace, traceOp{buf: 0, off: off, n: 512, kind: 1})
+		}
+	}
+	a, b := runTrace(t, capacity, []int64{elems}, trace)
+	// Traffic should be about one cold fill + final writeback regardless
+	// of the five sweeps.
+	bytes := elems * ElemSize
+	if a > bytes*3 {
+		t.Errorf("region model leaked traffic on resident reuse: %d (buffer %d)", a, bytes)
+	}
+	if b > bytes*3 {
+		t.Errorf("line model leaked traffic on resident reuse: %d", b)
+	}
+}
+
+func TestCrossValidateSlicedReductionPattern(t *testing.T) {
+	// The MA inner loop: a small shared slot accumulates p send-buffer
+	// slices. Slot stays resident; send buffers stream.
+	capacity := int64(1 << 16)
+	slot := int64(1 << 10) // 8 KB slot
+	sbElems := int64(1 << 14)
+	var trace []traceOp
+	for off := int64(0); off < sbElems; off += slot {
+		// copy-in: load sb slice, store slot
+		trace = append(trace, traceOp{buf: 1, off: off, n: slot, kind: 0})
+		trace = append(trace, traceOp{buf: 0, off: 0, n: slot, kind: 1})
+		// 3 accumulate passes: load slot, load sb, store slot
+		for k := 0; k < 3; k++ {
+			trace = append(trace, traceOp{buf: 0, off: 0, n: slot, kind: 0})
+			trace = append(trace, traceOp{buf: 1, off: off, n: slot, kind: 0})
+			trace = append(trace, traceOp{buf: 0, off: 0, n: slot, kind: 1})
+		}
+	}
+	a, b := runTrace(t, capacity, []int64{slot, sbElems}, trace)
+	ratioWithin(t, "sliced reduction", a, b, 0.15)
+}
+
+func TestCrossValidateRandomStreams(t *testing.T) {
+	// Property-ish: random sequences of sequential bursts agree within 25%
+	// (the region model has no associativity conflicts, so exact equality
+	// is not expected).
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int64(1 << 16)
+		bufs := []int64{1 << 13, 1 << 14, 1 << 12}
+		var trace []traceOp
+		for i := 0; i < 150; i++ {
+			b := rng.Intn(len(bufs))
+			n := int64(64 << rng.Intn(4)) // 64..512 elems
+			maxOff := bufs[b] - n
+			off := int64(0)
+			if maxOff > 0 {
+				off = rng.Int63n(maxOff)
+			}
+			trace = append(trace, traceOp{buf: b, off: off, n: n, kind: rng.Intn(3)})
+		}
+		a, b := runTrace(t, capacity, bufs, trace)
+		r := float64(a) / float64(b)
+		if r < 0.70 || r > 1.35 {
+			t.Errorf("seed %d: region %d vs line %d (ratio %.2f)", seed, a, b, r)
+		}
+	}
+}

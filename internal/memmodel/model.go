@@ -1,0 +1,341 @@
+package memmodel
+
+import (
+	"fmt"
+
+	"yhccl/internal/sim"
+	"yhccl/internal/topo"
+)
+
+// Counters accumulates the traffic statistics of a run. Logical counters
+// correspond to the paper's data-access-volume analysis (Tables 1-3); the
+// DRAM counters correspond to its memory-bandwidth analysis (Table 4,
+// Figs. 12-14).
+type Counters struct {
+	// LoadBytes is the logical bytes loaded (every Load and the load halves
+	// of Copy/Reduce).
+	LoadBytes int64
+	// StoreBytes is the logical bytes stored.
+	StoreBytes int64
+	// CopyVolume is the paper's V: bytes moved by copy operations between
+	// private and shared memory (2 x size per copy: one load + one store).
+	CopyVolume int64
+	// DRAMTraffic is bytes that actually crossed a memory controller:
+	// demand fills, RFO fills, write-backs and non-temporal stores.
+	DRAMTraffic int64
+	// RFOBytes is the subset of DRAMTraffic due to read-for-ownership
+	// line fills triggered by temporal store misses.
+	RFOBytes int64
+	// WritebackBytes is the subset of DRAMTraffic due to dirty evictions.
+	WritebackBytes int64
+	// NTStoreBytes is the subset of DRAMTraffic written by non-temporal
+	// stores.
+	NTStoreBytes int64
+	// CrossSocketBytes is DRAM traffic served by a remote socket's memory.
+	CrossSocketBytes int64
+	// SyncCount is the number of synchronization events charged.
+	SyncCount int64
+}
+
+// DAV returns the logical data access volume (loads + stores), the metric
+// of the paper's Tables 1-3.
+func (c Counters) DAV() int64 { return c.LoadBytes + c.StoreBytes }
+
+// Sub returns c - o, for measuring a region between two snapshots.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		LoadBytes:        c.LoadBytes - o.LoadBytes,
+		StoreBytes:       c.StoreBytes - o.StoreBytes,
+		CopyVolume:       c.CopyVolume - o.CopyVolume,
+		DRAMTraffic:      c.DRAMTraffic - o.DRAMTraffic,
+		RFOBytes:         c.RFOBytes - o.RFOBytes,
+		WritebackBytes:   c.WritebackBytes - o.WritebackBytes,
+		NTStoreBytes:     c.NTStoreBytes - o.NTStoreBytes,
+		CrossSocketBytes: c.CrossSocketBytes - o.CrossSocketBytes,
+		SyncCount:        c.SyncCount - o.SyncCount,
+	}
+}
+
+// Model is the memory-system cost model for one node. It is not safe for
+// concurrent use on its own; the sim engine's one-runnable-proc-at-a-time
+// discipline provides the required serialization.
+type Model struct {
+	Node *topo.Node
+
+	ranksPerSocket []int // how many ranks are bound to each socket
+	caches         []*cacheState
+
+	counters Counters
+	bufSeq   uint64
+	tracer   *sim.Tracer
+
+	// dramBWPerRank[s] is the steady-state DRAM bandwidth share of one rank
+	// on socket s; cacheBWPerRank likewise for the shared cache.
+	dramBWPerRank  []float64
+	cacheBWPerRank []float64
+}
+
+// New builds a model for the node with the given rank-to-core binding
+// (rankCores[i] is the core rank i is pinned to). Bandwidth shares are the
+// steady-state division of per-socket resources among the ranks bound there.
+func New(node *topo.Node, rankCores []int) *Model {
+	if err := node.Validate(); err != nil {
+		panic(fmt.Sprintf("memmodel: invalid node: %v", err))
+	}
+	m := &Model{
+		Node:           node,
+		ranksPerSocket: make([]int, node.Sockets),
+		caches:         make([]*cacheState, node.Sockets),
+		dramBWPerRank:  make([]float64, node.Sockets),
+		cacheBWPerRank: make([]float64, node.Sockets),
+	}
+	for _, core := range rankCores {
+		m.ranksPerSocket[node.SocketOf(core)]++
+	}
+	for s := 0; s < node.Sockets; s++ {
+		// The socket-level residency capacity follows the paper's
+		// available-cache rule, applied per socket: shared LLC plus (on
+		// non-inclusive parts) the private L2s of the ranks bound here.
+		capacity := node.L3PerSocket
+		if !node.L3Inclusive {
+			capacity += int64(m.ranksPerSocket[s]) * node.L2PerCore
+		}
+		m.caches[s] = newCacheState(s, capacity)
+		ranks := m.ranksPerSocket[s]
+		if ranks == 0 {
+			ranks = 1
+		}
+		m.dramBWPerRank[s] = minf(node.DRAMBandwidthPerCore,
+			node.DRAMBandwidthPerSocket/float64(ranks))
+		m.cacheBWPerRank[s] = minf(node.CacheBandwidthPerCore,
+			node.L3BandwidthPerSocket/float64(ranks))
+	}
+	return m
+}
+
+// NewBuffer allocates a modelled buffer of n float64 elements homed on the
+// given socket. When real is true the buffer carries actual data.
+func (m *Model) NewBuffer(name string, space Space, home int, n int64, real bool) *Buffer {
+	if home < 0 || home >= m.Node.Sockets {
+		panic(fmt.Sprintf("memmodel: buffer %q homed on invalid socket %d", name, home))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("memmodel: buffer %q with negative size", name))
+	}
+	m.bufSeq++
+	b := &Buffer{ID: m.bufSeq, Name: name, Space: space, Home: home, Elems: n}
+	if real {
+		b.Data = make([]float64, n)
+	}
+	return b
+}
+
+// SetTracer attaches an event tracer: every modelled memory operation is
+// recorded as a span on the acting process's timeline (nil disables).
+func (m *Model) SetTracer(t *sim.Tracer) { m.tracer = t }
+
+// Tracer returns the attached tracer (nil when disabled).
+func (m *Model) Tracer() *sim.Tracer { return m.tracer }
+
+// span records a traced interval if tracing is enabled.
+func (m *Model) span(p *sim.Proc, name string, from float64) {
+	if m.tracer != nil {
+		m.tracer.Span(p, name, from, p.Now())
+	}
+}
+
+// Counters returns a snapshot of the accumulated counters.
+func (m *Model) Counters() Counters { return m.counters }
+
+// ResetCounters zeroes the counters (residency state is preserved).
+func (m *Model) ResetCounters() { m.counters = Counters{} }
+
+// DropCaches empties every socket's residency tracker (cold start).
+func (m *Model) DropCaches() {
+	for s := range m.caches {
+		m.caches[s] = newCacheState(s, m.caches[s].capacity)
+	}
+}
+
+// CacheOccupancy returns the resident bytes on a socket (diagnostics).
+func (m *Model) CacheOccupancy(socket int) int64 { return m.caches[socket].occupancy() }
+
+// AvailableCache returns the paper's C for the p ranks of this model's
+// binding: the node-wide capacity usable by the collective (§4.2).
+func (m *Model) AvailableCache() int64 {
+	total := int64(0)
+	for _, c := range m.caches {
+		total += c.capacity
+	}
+	return total
+}
+
+// SyncLatency returns the one-way flag latency between two cores.
+func (m *Model) SyncLatency(coreA, coreB int) float64 {
+	if m.Node.SocketOf(coreA) == m.Node.SocketOf(coreB) {
+		return m.Node.SyncLatencyIntra
+	}
+	return m.Node.SyncLatencyInter
+}
+
+// CountSync records a synchronization event (the latency itself is charged
+// through sim flags/barriers by the caller).
+func (m *Model) CountSync() { m.counters.SyncCount++ }
+
+// dramTime charges DRAM traffic originating from `core` against buffer b's
+// home memory and returns the time it takes.
+func (m *Model) dramTime(core int, b *Buffer, bytes int64) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	s := m.Node.SocketOf(core)
+	bw := m.dramBWPerRank[s]
+	if b.Home != s {
+		bw *= m.Node.CrossSocketFactor
+		m.counters.CrossSocketBytes += bytes
+	}
+	m.counters.DRAMTraffic += bytes
+	return float64(bytes) / bw
+}
+
+// pinnedTime is the access time for a pinned (always-resident) buffer:
+// cache speed locally, cross-socket cache-to-cache penalty remotely.
+func (m *Model) pinnedTime(core int, b *Buffer, bytes int64) float64 {
+	t := m.cacheTime(core, bytes)
+	if b.Home != m.Node.SocketOf(core) {
+		t /= m.Node.CrossSocketFactor
+		m.counters.CrossSocketBytes += bytes
+	}
+	return t
+}
+
+// cacheTime returns the time for `bytes` served at cache speed.
+func (m *Model) cacheTime(core int, bytes int64) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	s := m.Node.SocketOf(core)
+	return float64(bytes) / m.cacheBWPerRank[s]
+}
+
+// Load charges a temporal load of n elements of b at offset off, performed
+// by the rank running on `core`, advancing p's clock. Loaded data becomes
+// cache-resident on the core's socket.
+func (m *Model) Load(p *sim.Proc, core int, b *Buffer, off, n int64) {
+	b.CheckRange(off, n)
+	lo, hi := off*ElemSize, (off+n)*ElemSize
+	bytes := hi - lo
+	m.counters.LoadBytes += bytes
+	from := p.Now()
+	defer m.span(p, "load "+b.Name, from)
+	if b.Pinned {
+		p.Advance(m.pinnedTime(core, b, bytes))
+		return
+	}
+	c := m.caches[m.Node.SocketOf(core)]
+	cached := c.lookup(b.ID, lo, hi)
+	missed := bytes - cached
+	t := m.cacheTime(core, cached) + m.dramTime(core, b, missed)
+	// Note: insert re-inserts the full range, which also refreshes recency
+	// of the previously cached portion. A load must not lose the dirty bit
+	// of data a previous store left in the cache, so keep overlap dirty.
+	dirtyOverlap := c.lookupDirty(b.ID, lo, hi)
+	wb := c.insert(b.ID, lo, hi, dirtyOverlap > 0)
+	if wb > 0 {
+		t += float64(wb) / m.dramBWPerRank[m.Node.SocketOf(core)]
+		m.counters.DRAMTraffic += wb
+		m.counters.WritebackBytes += wb
+	}
+	p.Advance(t)
+}
+
+// Store charges a store of n elements into b at offset off. Temporal stores
+// write-allocate: misses trigger an RFO line fill (DRAM read) and leave the
+// region dirty; hits run at cache speed. Non-temporal stores bypass the
+// cache entirely and invalidate any resident copy.
+func (m *Model) Store(p *sim.Proc, core int, b *Buffer, off, n int64, kind StoreKind) {
+	b.CheckRange(off, n)
+	lo, hi := off*ElemSize, (off+n)*ElemSize
+	bytes := hi - lo
+	m.counters.StoreBytes += bytes
+	from := p.Now()
+	defer m.span(p, kind.String()+" store "+b.Name, from)
+	if b.Pinned {
+		p.Advance(m.pinnedTime(core, b, bytes))
+		return
+	}
+	socket := m.Node.SocketOf(core)
+	c := m.caches[socket]
+	var t float64
+	switch kind {
+	case Temporal:
+		cached := c.lookup(b.ID, lo, hi)
+		missed := bytes - cached
+		// Hit portion: store at cache speed.
+		t += m.cacheTime(core, cached)
+		// Miss portion: RFO fill from DRAM, then the store itself hits the
+		// newly allocated lines at cache speed.
+		if missed > 0 {
+			t += m.dramTime(core, b, missed)
+			m.counters.RFOBytes += missed
+			t += m.cacheTime(core, missed)
+		}
+		// insert replaces any overlapped regions and marks the range dirty.
+		wb := c.insert(b.ID, lo, hi, true)
+		if wb > 0 {
+			t += float64(wb) / m.dramBWPerRank[socket]
+			m.counters.DRAMTraffic += wb
+			m.counters.WritebackBytes += wb
+		}
+	case NonTemporal:
+		c.invalidate(b.ID, lo, hi)
+		t += m.dramTime(core, b, bytes)
+		m.counters.NTStoreBytes += bytes
+	default:
+		panic(fmt.Sprintf("memmodel: unknown store kind %d", kind))
+	}
+	p.Advance(t)
+}
+
+// CountCopyVolume adds 2*n elements worth of bytes to the copy-volume
+// counter V (one load plus one store per copied byte, paper §2.1). The
+// caller invokes it alongside the Load/Store pair of a private<->shared
+// copy.
+func (m *Model) CountCopyVolume(n int64) {
+	m.counters.CopyVolume += 2 * n * ElemSize
+}
+
+// ReduceFloor charges the arithmetic floor of reducing n elements (SIMD
+// throughput cap). Memory time is charged separately by Load/Store; the
+// floor only matters when everything is cache-resident.
+func (m *Model) ReduceFloor(p *sim.Proc, n int64) {
+	p.Advance(float64(n*ElemSize) / m.Node.ReducePerCoreBandwidth)
+}
+
+// Warm marks [off, off+n) elements of b resident (and dirty, as if the
+// application just updated it) in the cache of the socket owning `core`,
+// without charging time. Benchmarks use it to model the OSU harness
+// updating send/recv buffers between iterations.
+func (m *Model) Warm(core int, b *Buffer, off, n int64) {
+	b.CheckRange(off, n)
+	c := m.caches[m.Node.SocketOf(core)]
+	wb := c.insert(b.ID, off*ElemSize, (off+n)*ElemSize, true)
+	_ = wb // warm-up write-backs are not charged
+}
+
+// RanksOnSocket returns how many ranks the binding placed on a socket.
+func (m *Model) RanksOnSocket(s int) int { return m.ranksPerSocket[s] }
+
+// DRAMBandwidthPerRank exposes the per-rank DRAM share (for tests and the
+// analytic harness).
+func (m *Model) DRAMBandwidthPerRank(s int) float64 { return m.dramBWPerRank[s] }
+
+// CacheBandwidthPerRank exposes the per-rank cache share.
+func (m *Model) CacheBandwidthPerRank(s int) float64 { return m.cacheBWPerRank[s] }
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

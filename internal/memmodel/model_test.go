@@ -1,0 +1,326 @@
+package memmodel
+
+import (
+	"testing"
+
+	"yhccl/internal/sim"
+	"yhccl/internal/topo"
+)
+
+// runOne executes body on a single simulated proc and returns its final
+// clock.
+func runOne(t *testing.T, body func(p *sim.Proc)) float64 {
+	t.Helper()
+	e := sim.NewEngine()
+	var end float64
+	e.Spawn("p", func(p *sim.Proc) {
+		body(p)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+// fullBinding returns one rank per core for the node.
+func fullBinding(n *topo.Node) []int {
+	cores := make([]int, n.Cores())
+	for i := range cores {
+		cores[i] = i
+	}
+	return cores
+}
+
+func TestColdLoadIsDRAMBound(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 1<<20, false) // 8 MB
+	var coldT, warmT float64
+	runOne(t, func(p *sim.Proc) {
+		start := p.Now()
+		m.Load(p, 0, b, 0, b.Elems)
+		coldT = p.Now() - start
+		start = p.Now()
+		m.Load(p, 0, b, 0, b.Elems)
+		warmT = p.Now() - start
+	})
+	if coldT <= warmT {
+		t.Fatalf("cold load (%.3g) should be slower than warm load (%.3g)", coldT, warmT)
+	}
+	wantCold := float64(b.Bytes()) / m.DRAMBandwidthPerRank(0)
+	if !approx(coldT, wantCold, 1e-9) {
+		t.Fatalf("cold load time %.6g, want %.6g", coldT, wantCold)
+	}
+	wantWarm := float64(b.Bytes()) / m.CacheBandwidthPerRank(0)
+	if !approx(warmT, wantWarm, 1e-9) {
+		t.Fatalf("warm load time %.6g, want %.6g", warmT, wantWarm)
+	}
+}
+
+func TestTemporalStoreMissChargesRFO(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 1<<17, false) // 1 MB
+	runOne(t, func(p *sim.Proc) {
+		m.Store(p, 0, b, 0, b.Elems, Temporal)
+	})
+	c := m.Counters()
+	if c.RFOBytes != b.Bytes() {
+		t.Errorf("RFO bytes = %d, want %d", c.RFOBytes, b.Bytes())
+	}
+	if c.DRAMTraffic != b.Bytes() {
+		t.Errorf("DRAM traffic = %d, want %d (RFO fill only, writeback deferred)", c.DRAMTraffic, b.Bytes())
+	}
+	if c.StoreBytes != b.Bytes() {
+		t.Errorf("logical stores = %d, want %d", c.StoreBytes, b.Bytes())
+	}
+}
+
+func TestTemporalStoreHitIsCacheSpeed(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 1<<17, false)
+	var hitT float64
+	runOne(t, func(p *sim.Proc) {
+		m.Store(p, 0, b, 0, b.Elems, Temporal) // allocate
+		start := p.Now()
+		m.Store(p, 0, b, 0, b.Elems, Temporal) // hit
+		hitT = p.Now() - start
+	})
+	want := float64(b.Bytes()) / m.CacheBandwidthPerRank(0)
+	if !approx(hitT, want, 1e-9) {
+		t.Fatalf("store hit time %.6g, want %.6g", hitT, want)
+	}
+}
+
+func TestNonTemporalStoreBypassesAndInvalidates(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 1<<17, false)
+	var ntT, reloadT float64
+	runOne(t, func(p *sim.Proc) {
+		m.Load(p, 0, b, 0, b.Elems) // cache it
+		start := p.Now()
+		m.Store(p, 0, b, 0, b.Elems, NonTemporal)
+		ntT = p.Now() - start
+		start = p.Now()
+		m.Load(p, 0, b, 0, b.Elems) // must re-fetch from DRAM
+		reloadT = p.Now() - start
+	})
+	c := m.Counters()
+	if c.NTStoreBytes != b.Bytes() {
+		t.Errorf("NT store bytes = %d, want %d", c.NTStoreBytes, b.Bytes())
+	}
+	if c.RFOBytes != 0 {
+		t.Errorf("NT store caused RFO: %d bytes", c.RFOBytes)
+	}
+	wantNT := float64(b.Bytes()) / m.DRAMBandwidthPerRank(0)
+	if !approx(ntT, wantNT, 1e-9) {
+		t.Errorf("NT store time %.6g, want %.6g", ntT, wantNT)
+	}
+	wantReload := float64(b.Bytes()) / m.DRAMBandwidthPerRank(0)
+	if !approx(reloadT, wantReload, 1e-9) {
+		t.Errorf("reload after NT store %.6g, want DRAM-bound %.6g", reloadT, wantReload)
+	}
+}
+
+func TestStreamingTemporalCopyCosts3xTraffic(t *testing.T) {
+	// The Table 4 effect: a large t-copy generates 3 bytes of DRAM traffic
+	// per copied byte (demand load + RFO fill + writeback), an nt-copy only
+	// 2. We stream a working set 4x the cache through Load+Store pairs.
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	total := m.AvailableCache() * 4 / ElemSize
+	chunk := int64(1 << 16) // 512 KB slices
+	src := m.NewBuffer("src", Private, 0, total, false)
+	dst := m.NewBuffer("dst", Private, 0, total, false)
+
+	runOne(t, func(p *sim.Proc) {
+		for off := int64(0); off < total; off += chunk {
+			m.Load(p, 0, src, off, chunk)
+			m.Store(p, 0, dst, off, chunk, Temporal)
+		}
+	})
+	tTraffic := m.Counters().DRAMTraffic
+	bytes := total * ElemSize
+
+	m2 := New(node, fullBinding(node))
+	src2 := m2.NewBuffer("src", Private, 0, total, false)
+	dst2 := m2.NewBuffer("dst", Private, 0, total, false)
+	runOne(t, func(p *sim.Proc) {
+		for off := int64(0); off < total; off += chunk {
+			m2.Load(p, 0, src2, off, chunk)
+			m2.Store(p, 0, dst2, off, chunk, NonTemporal)
+		}
+	})
+	ntTraffic := m2.Counters().DRAMTraffic
+
+	ratioT := float64(tTraffic) / float64(bytes)
+	ratioNT := float64(ntTraffic) / float64(bytes)
+	if ratioT < 2.5 || ratioT > 3.1 {
+		t.Errorf("t-copy traffic ratio = %.2f, want ~3", ratioT)
+	}
+	if ratioNT < 1.9 || ratioNT > 2.1 {
+		t.Errorf("nt-copy traffic ratio = %.2f, want ~2", ratioNT)
+	}
+}
+
+func TestCrossSocketAccessSlowerAndCounted(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	local := m.NewBuffer("local", Private, 0, 1<<17, false)
+	remote := m.NewBuffer("remote", Private, 1, 1<<17, false)
+	var localT, remoteT float64
+	runOne(t, func(p *sim.Proc) {
+		start := p.Now()
+		m.Load(p, 0, local, 0, local.Elems)
+		localT = p.Now() - start
+		start = p.Now()
+		m.Load(p, 0, remote, 0, remote.Elems)
+		remoteT = p.Now() - start
+	})
+	if remoteT <= localT {
+		t.Errorf("remote load (%.3g) should be slower than local (%.3g)", remoteT, localT)
+	}
+	if got := m.Counters().CrossSocketBytes; got != remote.Bytes() {
+		t.Errorf("cross-socket bytes = %d, want %d", got, remote.Bytes())
+	}
+}
+
+func TestWarmMakesDataResident(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 1<<17, false)
+	m.Warm(0, b, 0, b.Elems)
+	var loadT float64
+	runOne(t, func(p *sim.Proc) {
+		start := p.Now()
+		m.Load(p, 0, b, 0, b.Elems)
+		loadT = p.Now() - start
+	})
+	want := float64(b.Bytes()) / m.CacheBandwidthPerRank(0)
+	if !approx(loadT, want, 1e-9) {
+		t.Fatalf("load after warm %.6g, want cache-speed %.6g", loadT, want)
+	}
+}
+
+func TestDirtyBitSurvivesLoad(t *testing.T) {
+	// A store followed by a load of the same range must not lose the dirty
+	// bit; eviction must still write back.
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	small := m.NewBuffer("small", Private, 0, 1<<14, false)
+	big := m.NewBuffer("big", Private, 0, m.AvailableCache()/ElemSize+(1<<14), false)
+	runOne(t, func(p *sim.Proc) {
+		m.Store(p, 0, small, 0, small.Elems, Temporal)
+		m.Load(p, 0, small, 0, small.Elems)
+		m.Load(p, 0, big, 0, big.Elems) // flushes everything
+	})
+	if wb := m.Counters().WritebackBytes; wb < small.Bytes() {
+		t.Fatalf("writeback = %d, want >= %d (dirty data must be written back)", wb, small.Bytes())
+	}
+}
+
+func TestResetCountersKeepsResidency(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 1<<14, false)
+	runOne(t, func(p *sim.Proc) {
+		m.Load(p, 0, b, 0, b.Elems)
+	})
+	m.ResetCounters()
+	if m.Counters().DAV() != 0 {
+		t.Fatal("counters not reset")
+	}
+	var warmT float64
+	runOne(t, func(p *sim.Proc) {
+		start := p.Now()
+		m.Load(p, 0, b, 0, b.Elems)
+		warmT = p.Now() - start
+	})
+	want := float64(b.Bytes()) / m.CacheBandwidthPerRank(0)
+	if !approx(warmT, want, 1e-9) {
+		t.Fatalf("residency lost after ResetCounters")
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 1<<14, false)
+	runOne(t, func(p *sim.Proc) { m.Load(p, 0, b, 0, b.Elems) })
+	m.DropCaches()
+	if occ := m.CacheOccupancy(0); occ != 0 {
+		t.Fatalf("occupancy after DropCaches = %d", occ)
+	}
+}
+
+func TestSyncLatency(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	if got := m.SyncLatency(0, 1); got != node.SyncLatencyIntra {
+		t.Errorf("intra latency = %g", got)
+	}
+	if got := m.SyncLatency(0, 32); got != node.SyncLatencyInter {
+		t.Errorf("inter latency = %g", got)
+	}
+}
+
+func TestBandwidthShares(t *testing.T) {
+	node := topo.NodeA()
+	// All 64 ranks: DRAM share = 237/32 GB/s per rank (per socket / ranks).
+	m := New(node, fullBinding(node))
+	want := node.DRAMBandwidthPerSocket / 32
+	if got := m.DRAMBandwidthPerRank(0); !approx(got, want, 1e-6) {
+		t.Errorf("64-rank DRAM share = %g, want %g", got, want)
+	}
+	// 2 ranks (cores 0 and 32): capped by the per-core limit.
+	m2 := New(node, []int{0, 32})
+	if got := m2.DRAMBandwidthPerRank(0); got != node.DRAMBandwidthPerCore {
+		t.Errorf("2-rank DRAM share = %g, want per-core cap %g", got, node.DRAMBandwidthPerCore)
+	}
+}
+
+func TestCopyVolumeCounter(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	m.CountCopyVolume(1000)
+	if got := m.Counters().CopyVolume; got != 2000*ElemSize {
+		t.Errorf("copy volume = %d, want %d", got, 2000*ElemSize)
+	}
+}
+
+func TestBufferRangeChecks(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 100, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	runOne(t, func(p *sim.Proc) {
+		m.Load(p, 0, b, 50, 51)
+	})
+}
+
+func TestModelOnlyBufferSlicePanics(t *testing.T) {
+	node := topo.NodeA()
+	m := New(node, fullBinding(node))
+	b := m.NewBuffer("b", Private, 0, 100, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic slicing a model-only buffer")
+		}
+	}()
+	b.Slice(0, 10)
+}
+
+func approx(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*want || d <= tol
+}

@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"fmt"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/shm"
+)
+
+// Comm is a communicator: an ordered group of global ranks plus the shared
+// resources (segments, flags, barrier) its collectives use. Resources are
+// memoized by label so that repeated collective invocations reuse the same
+// shared memory and flags, exactly like a persistent MPI communicator
+// context — this is what lets shared segments stay cache-warm across
+// iterations.
+type Comm struct {
+	machine *Machine
+	name    string
+	ranks   []int       // global rank ids, comm rank = index
+	index   map[int]int // global rank -> comm rank
+
+	buffers  map[string]*memmodel.Buffer
+	flagSets map[string][]*shm.Flag
+	p2p      map[string]*chanState
+	pubs     map[string][]*memmodel.Buffer
+	counters map[string][]int64
+	barrier  *shm.Barrier
+	arena    *shm.Arena
+}
+
+func newComm(m *Machine, name string, ranks []int) *Comm {
+	c := &Comm{
+		machine:  m,
+		name:     name,
+		ranks:    ranks,
+		index:    make(map[int]int, len(ranks)),
+		buffers:  make(map[string]*memmodel.Buffer),
+		flagSets: make(map[string][]*shm.Flag),
+		p2p:      make(map[string]*chanState),
+		pubs:     make(map[string][]*memmodel.Buffer),
+		counters: make(map[string][]int64),
+		arena:    shm.NewArena(m.Model, name, m.Real),
+	}
+	for i, r := range ranks {
+		c.index[r] = i
+	}
+	return c
+}
+
+// Name returns the communicator label.
+func (c *Comm) Name() string { return c.name }
+
+// Size returns the number of participating ranks.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// GlobalRank maps a comm rank to its global rank id.
+func (c *Comm) GlobalRank(commRank int) int { return c.ranks[commRank] }
+
+// CommRank maps a global rank id to its comm rank, or -1 if absent.
+func (c *Comm) CommRank(globalRank int) int {
+	if i, ok := c.index[globalRank]; ok {
+		return i
+	}
+	return -1
+}
+
+// CoreOf returns the core that comm rank i runs on.
+func (c *Comm) CoreOf(commRank int) int {
+	return c.machine.RankCores[c.ranks[commRank]]
+}
+
+// SocketOf returns the socket of comm rank i.
+func (c *Comm) SocketOf(commRank int) int {
+	return c.machine.Node.SocketOf(c.CoreOf(commRank))
+}
+
+// Machine returns the owning machine.
+func (c *Comm) Machine() *Machine { return c.machine }
+
+// Shared returns the shared buffer with the given label, creating it homed
+// on the given socket on first use. Subsequent calls must agree on size and
+// homing.
+func (c *Comm) Shared(label string, home int, elems int64) *memmodel.Buffer {
+	if b, ok := c.buffers[label]; ok {
+		if b.Elems != elems || b.Home != home {
+			panic(fmt.Sprintf("mpi: shared buffer %q re-requested with different shape (%d@%d vs %d@%d)",
+				label, elems, home, b.Elems, b.Home))
+		}
+		return b
+	}
+	b := c.arena.Alloc(label, home, elems)
+	c.buffers[label] = b
+	return b
+}
+
+// SharedPinned returns (creating on first use) a shared buffer modelled as
+// permanently cache-resident — a reused transport ring (see
+// memmodel.Buffer.Pinned).
+func (c *Comm) SharedPinned(label string, home int, elems int64) *memmodel.Buffer {
+	if b, ok := c.buffers[label]; ok {
+		if b.Elems != elems || b.Home != home || !b.Pinned {
+			panic(fmt.Sprintf("mpi: pinned buffer %q re-requested with different shape", label))
+		}
+		return b
+	}
+	b := c.arena.AllocPinned(label, home, elems)
+	c.buffers[label] = b
+	return b
+}
+
+// Flags returns the flag array with the given label (one flag per comm
+// rank, flag i owned by comm rank i's core), creating it on first use.
+func (c *Comm) Flags(label string) []*shm.Flag {
+	if fs, ok := c.flagSets[label]; ok {
+		return fs
+	}
+	fs := make([]*shm.Flag, c.Size())
+	for i := range fs {
+		fs[i] = shm.NewFlag(c.machine.Model,
+			fmt.Sprintf("%s/%s[%d]", c.name, label, i), c.CoreOf(i))
+	}
+	c.flagSets[label] = fs
+	return fs
+}
+
+// Publish registers r's buffer under the label, making it visible to the
+// other ranks of the communicator via Peer — the stand-in for XPMEM-style
+// address-space exposure. Callers must barrier between Publish and Peer.
+func (c *Comm) Publish(r *Rank, label string, b *memmodel.Buffer) {
+	slots, ok := c.pubs[label]
+	if !ok {
+		slots = make([]*memmodel.Buffer, c.Size())
+		c.pubs[label] = slots
+	}
+	me := c.CommRank(r.id)
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in comm %s", r.id, c.Name()))
+	}
+	slots[me] = b
+}
+
+// Peer returns the buffer comm rank `who` published under the label.
+func (c *Comm) Peer(label string, who int) *memmodel.Buffer {
+	slots := c.pubs[label]
+	if slots == nil || slots[who] == nil {
+		panic(fmt.Sprintf("mpi: no buffer published as %q by comm rank %d", label, who))
+	}
+	return slots[who]
+}
+
+// Counter returns a pointer to a persistent per-rank counter, used by
+// collectives to keep their monotone flag epochs across invocations.
+func (c *Comm) Counter(r *Rank, key string) *int64 {
+	vals, ok := c.counters[key]
+	if !ok {
+		vals = make([]int64, c.Size())
+		c.counters[key] = vals
+	}
+	me := c.CommRank(r.id)
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in comm %s", r.id, c.Name()))
+	}
+	return &vals[me]
+}
+
+// Barrier returns the communicator's barrier (created on first use).
+func (c *Comm) Barrier() *shm.Barrier {
+	if c.barrier == nil {
+		cores := make([]int, c.Size())
+		for i := range cores {
+			cores[i] = c.CoreOf(i)
+		}
+		c.barrier = shm.NewBarrier(c.machine.Model, c.name+"/barrier", cores)
+	}
+	return c.barrier
+}

@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"fmt"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/sim"
+	"yhccl/internal/topo"
+)
+
+// Machine binds a node topology, a memory cost model and a set of ranks
+// pinned to cores. A Machine persists across Run invocations so that
+// communicator resources (shared segments, flags) and cache residency carry
+// over between iterations, as they do for a long-lived MPI job.
+type Machine struct {
+	// Node is the hardware description.
+	Node *topo.Node
+	// Model is the memory cost model (shared by all ranks).
+	Model *memmodel.Model
+	// RankCores[i] is the core rank i is pinned to.
+	RankCores []int
+	// Real selects whether buffers carry actual data (correctness mode) or
+	// are model-only (timing mode for paper-scale sweeps).
+	Real bool
+
+	world    *Comm
+	sockets  []*Comm
+	privBufs map[int]map[string]*memmodel.Buffer
+}
+
+// NewMachine creates a machine with p ranks block-bound to cores 0..p-1
+// (the paper's lscpu-checked compact binding). Real selects data mode.
+func NewMachine(node *topo.Node, p int, real bool) *Machine {
+	if p <= 0 || p > node.Cores() {
+		panic(fmt.Sprintf("mpi: %d ranks do not fit on %s (%d cores)", p, node.Name, node.Cores()))
+	}
+	cores := make([]int, p)
+	for i := range cores {
+		cores[i] = i
+	}
+	return NewMachineWithBinding(node, cores, real)
+}
+
+// NewMachineWithBinding creates a machine with an explicit rank-to-core
+// binding (for scatter/imbalance studies).
+func NewMachineWithBinding(node *topo.Node, rankCores []int, real bool) *Machine {
+	m := &Machine{
+		Node:      node,
+		Model:     memmodel.New(node, rankCores),
+		RankCores: rankCores,
+		Real:      real,
+		privBufs:  make(map[int]map[string]*memmodel.Buffer),
+	}
+	// World communicator.
+	all := make([]int, len(rankCores))
+	for i := range all {
+		all[i] = i
+	}
+	m.world = newComm(m, "world", all)
+	// Per-socket communicators.
+	bySocket := make(map[int][]int)
+	for r, core := range rankCores {
+		s := node.SocketOf(core)
+		bySocket[s] = append(bySocket[s], r)
+	}
+	m.sockets = make([]*Comm, node.Sockets)
+	for s := 0; s < node.Sockets; s++ {
+		if ranks := bySocket[s]; len(ranks) > 0 {
+			m.sockets[s] = newComm(m, fmt.Sprintf("socket%d", s), ranks)
+		}
+	}
+	return m
+}
+
+// Size returns the number of ranks.
+func (m *Machine) Size() int { return len(m.RankCores) }
+
+// World returns the communicator containing every rank.
+func (m *Machine) World() *Comm { return m.world }
+
+// SocketComm returns the communicator of ranks bound to socket s (nil if
+// the binding placed no ranks there).
+func (m *Machine) SocketComm(s int) *Comm { return m.sockets[s] }
+
+// Sockets returns how many sockets have at least one rank.
+func (m *Machine) Sockets() int {
+	n := 0
+	for _, c := range m.sockets {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes body once per rank under the discrete-event engine and
+// returns the simulated makespan (max clock over all ranks). Resources and
+// cache residency persist across calls; counters are NOT reset (snapshot
+// them around Run if needed).
+func (m *Machine) Run(body func(r *Rank)) (makespan float64, err error) {
+	e := sim.NewEngine()
+	for i := range m.RankCores {
+		i := i
+		e.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			body(&Rank{proc: p, machine: m, id: i})
+		})
+	}
+	if err := e.Run(); err != nil {
+		return 0, err
+	}
+	return e.MaxClock(), nil
+}
+
+// MustRun is Run that panics on error (deadlocks are programming bugs).
+func (m *Machine) MustRun(body func(r *Rank)) float64 {
+	t, err := m.Run(body)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+// Package mpi implements the intra-node MPI-rank runtime the collectives in
+// internal/coll are written against: a Machine (topology + memory model +
+// rank binding), communicators with shared resources (shared-memory
+// segments, flags, barriers), modelled data-movement primitives, and
+// shared-memory point-to-point Send/Recv for the send/recv-based baseline
+// algorithms.
+//
+// Ranks execute as processes of the deterministic discrete-event engine in
+// internal/sim; every data operation advances the acting rank's virtual
+// clock through the memory cost model in internal/memmodel.
+package mpi
+
+// Op is a binary reduction operation over float64 elements, the element
+// type of all modelled payloads.
+type Op struct {
+	// Name identifies the op ("sum", "max", ...).
+	Name string
+	// apply computes dst[i] = op(dst[i], src[i]).
+	apply func(dst, src []float64)
+	// combine computes out[i] = op(a[i], b[i]).
+	combine func(out, a, b []float64)
+}
+
+// Apply folds src into dst element-wise.
+func (o Op) Apply(dst, src []float64) { o.apply(dst, src) }
+
+// Combine writes op(a, b) into out element-wise.
+func (o Op) Combine(out, a, b []float64) { o.combine(out, a, b) }
+
+// Sum is the + reduction (MPI_SUM).
+var Sum = Op{
+	Name: "sum",
+	apply: func(dst, src []float64) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	},
+	combine: func(out, a, b []float64) {
+		for i := range out {
+			out[i] = a[i] + b[i]
+		}
+	},
+}
+
+// Max is the elementwise-maximum reduction (MPI_MAX).
+var Max = Op{
+	Name: "max",
+	apply: func(dst, src []float64) {
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	},
+	combine: func(out, a, b []float64) {
+		for i := range out {
+			if a[i] > b[i] {
+				out[i] = a[i]
+			} else {
+				out[i] = b[i]
+			}
+		}
+	},
+}
+
+// Min is the elementwise-minimum reduction (MPI_MIN).
+var Min = Op{
+	Name: "min",
+	apply: func(dst, src []float64) {
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	},
+	combine: func(out, a, b []float64) {
+		for i := range out {
+			if a[i] < b[i] {
+				out[i] = a[i]
+			} else {
+				out[i] = b[i]
+			}
+		}
+	},
+}
+
+// Prod is the elementwise-product reduction (MPI_PROD).
+var Prod = Op{
+	Name: "prod",
+	apply: func(dst, src []float64) {
+		for i := range dst {
+			dst[i] *= src[i]
+		}
+	},
+	combine: func(out, a, b []float64) {
+		for i := range out {
+			out[i] = a[i] * b[i]
+		}
+	},
+}

@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"fmt"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/shm"
+)
+
+// DefaultP2PChunkElems is the pipeline chunk of shared-memory send/recv
+// (8192 float64 = 64 KB), matching the eager-path chunking of mainstream
+// MPI shared-memory BTLs.
+const DefaultP2PChunkElems = 8192
+
+// chanState is the persistent shared-memory pipe between an ordered pair of
+// ranks: a message-sized staging segment plus produced/consumed flags.
+//
+// Send is buffered (eager): the sender copies the whole message into
+// staging chunk by chunk without waiting for the receiver, publishing each
+// chunk through the produced flag; the receiver pipelines copy-out at chunk
+// granularity. Backpressure is one message deep: a sender must wait for the
+// receiver to finish draining the previous message before overwriting
+// staging. This mirrors how a single-threaded MPI process actually executes
+// a sendrecv (copy-in then copy-out, overlap across ranks, not within one)
+// and keeps rings parallel rather than serializing them.
+//
+// All counters are absolute across the communicator's lifetime, so channels
+// are reused by consecutive operations without resetting flags — the
+// standard epoch trick of shared-memory transports.
+type chanState struct {
+	staging  *memmodel.Buffer
+	produced *shm.Flag // chunks ever published by the sender
+	consumed *shm.Flag // messages ever fully drained by the receiver
+	chunk    int64     // elements per chunk
+	sent     int64     // chunks ever published
+	rcvd     int64     // chunks ever consumed
+	msgsSent int64
+	msgsRcvd int64
+	gen      int // staging regrow generation
+}
+
+func p2pKey(src, dst int) string { return fmt.Sprintf("p2p/%d->%d", src, dst) }
+
+// channel returns the pipe for messages from comm rank src to comm rank
+// dst, creating it on first use. Staging is homed on the sender's socket
+// (the sender first-touches it with copy-in) and grows to the largest
+// message seen.
+func (c *Comm) channel(src, dst int, elems int64) *chanState {
+	key := p2pKey(src, dst)
+	ch, ok := c.p2p[key]
+	if !ok {
+		ch = &chanState{
+			produced: shm.NewFlag(c.machine.Model, key+"/produced", c.CoreOf(src)),
+			consumed: shm.NewFlag(c.machine.Model, key+"/consumed", c.CoreOf(dst)),
+			chunk:    DefaultP2PChunkElems,
+		}
+		c.p2p[key] = ch
+	}
+	if ch.staging == nil || ch.staging.Elems < elems {
+		size := int64(DefaultP2PChunkElems)
+		for size < elems {
+			size *= 2
+		}
+		ch.gen++
+		ch.staging = c.SharedPinned(fmt.Sprintf("%s/staging@%d", key, ch.gen), c.SocketOf(src), size)
+	}
+	return ch
+}
+
+// Send transmits n elements of buf starting at off to comm rank dst using
+// the classic two-copy shared-memory path: the sender copies the message
+// into staging (copy-in), the receiver copies it out. The send is buffered:
+// it completes once the message is staged, waiting only for the previous
+// message on this channel to have been drained. Matching Recv/RecvReduce
+// calls must agree on n.
+func (r *Rank) Send(c *Comm, dst int, buf *memmodel.Buffer, off, n int64) {
+	me := c.CommRank(r.id)
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in comm %s", r.id, c.Name()))
+	}
+	if dst == me {
+		panic("mpi: send to self")
+	}
+	if n <= 0 {
+		panic("mpi: send of non-positive length")
+	}
+	ch := c.channel(me, dst, n)
+	// One-message-deep backpressure: the previous message must be drained.
+	if ch.msgsSent > 0 {
+		ch.consumed.Wait(r.proc, r.Core(), uint64(ch.msgsSent))
+	}
+	for done := int64(0); done < n; {
+		k := min64(ch.chunk, n-done)
+		r.CopyElems(ch.staging, done, buf, off+done, k, memmodel.Temporal)
+		ch.sent++
+		ch.produced.Set(r.proc, uint64(ch.sent))
+		done += k
+	}
+	ch.msgsSent++
+}
+
+// Recv receives n elements into buf at off from comm rank src, copying each
+// chunk out of staging with the given store kind as it is published.
+func (r *Rank) Recv(c *Comm, src int, buf *memmodel.Buffer, off, n int64, kind memmodel.StoreKind) {
+	r.recvCommon(c, src, n, func(ch *chanState, sOff, dOff, k int64) {
+		r.CopyElems(buf, dOff, ch.staging, sOff, k, kind)
+	}, off)
+}
+
+// RecvReduce receives n elements from comm rank src and folds them into buf
+// at off (buf = op(buf, incoming)) without an intermediate copy-out — the
+// fused receive+reduce used by ring/Rabenseifner reduction phases.
+func (r *Rank) RecvReduce(c *Comm, src int, buf *memmodel.Buffer, off, n int64, op Op) {
+	r.recvCommon(c, src, n, func(ch *chanState, sOff, dOff, k int64) {
+		r.AccumulateElems(buf, dOff, ch.staging, sOff, k, op, memmodel.Temporal)
+	}, off)
+}
+
+func (r *Rank) recvCommon(c *Comm, src int, n int64, consume func(ch *chanState, sOff, dOff, k int64), off int64) {
+	me := c.CommRank(r.id)
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in comm %s", r.id, c.Name()))
+	}
+	if src == me {
+		panic("mpi: recv from self")
+	}
+	if n <= 0 {
+		panic("mpi: recv of non-positive length")
+	}
+	ch := c.channel(src, me, n)
+	var msgStart int64 // staging offset of this message's first chunk
+	for done := int64(0); done < n; {
+		k := min64(ch.chunk, n-done)
+		ch.produced.Wait(r.proc, r.Core(), uint64(ch.rcvd+1))
+		consume(ch, msgStart+done, off+done, k)
+		ch.rcvd++
+		done += k
+	}
+	ch.msgsRcvd++
+	ch.consumed.Set(r.proc, uint64(ch.msgsRcvd))
+}
+
+// RecvCombine receives n elements from comm rank src and writes
+// dst = op(other, incoming) without intermediate copies — the fused
+// first-accumulation of ring reduce-scatter (incoming partial + own send
+// buffer slice straight into the output).
+func (r *Rank) RecvCombine(c *Comm, src int, dst *memmodel.Buffer, dOff int64,
+	other *memmodel.Buffer, oOff, n int64, op Op) {
+	r.recvCommon(c, src, n, func(ch *chanState, sOff, dOffK, k int64) {
+		r.CombineElems(dst, dOffK, ch.staging, sOff, other, oOff+(dOffK-dOff), k, op, memmodel.Temporal)
+	}, dOff)
+}
+
+// SendRecv performs the ring/exchange step: send one block to dst and
+// receive another from src. Sends are buffered, so the copy-in happens at
+// the sender's pace and the copy-out pipelines behind the matching send.
+func (r *Rank) SendRecv(c *Comm, dst int, sendBuf *memmodel.Buffer, sendOff, sendN int64,
+	src int, recvBuf *memmodel.Buffer, recvOff, recvN int64, kind memmodel.StoreKind) {
+	r.Send(c, dst, sendBuf, sendOff, sendN)
+	r.Recv(c, src, recvBuf, recvOff, recvN, kind)
+}
+
+// SendRecvReduce is SendRecv with the receive side fused into a reduction
+// (buf = op(buf, incoming)), the step primitive of ring/Rabenseifner
+// reduce-scatter phases.
+func (r *Rank) SendRecvReduce(c *Comm, dst int, sendBuf *memmodel.Buffer, sendOff, sendN int64,
+	src int, redBuf *memmodel.Buffer, redOff, redN int64, op Op) {
+	r.Send(c, dst, sendBuf, sendOff, sendN)
+	r.RecvReduce(c, src, redBuf, redOff, redN, op)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

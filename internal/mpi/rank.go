@@ -1,0 +1,162 @@
+package mpi
+
+import (
+	"fmt"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/sim"
+)
+
+// Rank is one simulated MPI process: a sim.Proc pinned to a core, with the
+// modelled data-movement primitives every collective is written in terms
+// of. All primitives both perform the real element-wise work (when the
+// machine runs in Real mode) and charge the memory cost model.
+type Rank struct {
+	proc    *sim.Proc
+	machine *Machine
+	id      int
+}
+
+// ID returns the global rank id.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.machine.Size() }
+
+// Core returns the core this rank is pinned to.
+func (r *Rank) Core() int { return r.machine.RankCores[r.id] }
+
+// Socket returns the socket of this rank's core.
+func (r *Rank) Socket() int { return r.machine.Node.SocketOf(r.Core()) }
+
+// Machine returns the owning machine.
+func (r *Rank) Machine() *Machine { return r.machine }
+
+// World returns the world communicator.
+func (r *Rank) World() *Comm { return r.machine.World() }
+
+// SocketComm returns the communicator of this rank's socket.
+func (r *Rank) SocketComm() *Comm { return r.machine.SocketComm(r.Socket()) }
+
+// Proc exposes the underlying simulated process.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Now returns this rank's virtual time.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// Compute advances this rank's clock by dt seconds of local computation.
+func (r *Rank) Compute(dt float64) { r.proc.Advance(dt) }
+
+// NewBuffer allocates a private buffer of n elements homed on this rank's
+// socket (first touch).
+func (r *Rank) NewBuffer(label string, n int64) *memmodel.Buffer {
+	return r.machine.Model.NewBuffer(
+		fmt.Sprintf("rank%d/%s", r.id, label),
+		memmodel.Private, r.Socket(), n, r.machine.Real)
+}
+
+// PersistentBuffer returns a private buffer that survives across
+// invocations (an algorithm's scratch space), growing it if a larger size
+// is requested later.
+func (r *Rank) PersistentBuffer(label string, n int64) *memmodel.Buffer {
+	perRank, ok := r.machine.privBufs[r.id]
+	if !ok {
+		perRank = make(map[string]*memmodel.Buffer)
+		r.machine.privBufs[r.id] = perRank
+	}
+	if b, ok := perRank[label]; ok && b.Elems >= n {
+		return b
+	}
+	b := r.NewBuffer(label, n)
+	perRank[label] = b
+	return b
+}
+
+// Warm marks a buffer range resident in this rank's socket cache, modelling
+// the application having just produced/updated the data.
+func (r *Rank) Warm(b *memmodel.Buffer, off, n int64) {
+	r.machine.Model.Warm(r.Core(), b, off, n)
+}
+
+// Load charges a temporal load of n elements of b at off.
+func (r *Rank) Load(b *memmodel.Buffer, off, n int64) {
+	r.machine.Model.Load(r.proc, r.Core(), b, off, n)
+}
+
+// Store charges a store of n elements into b at off.
+func (r *Rank) Store(b *memmodel.Buffer, off, n int64, kind memmodel.StoreKind) {
+	r.machine.Model.Store(r.proc, r.Core(), b, off, n, kind)
+}
+
+// CopyElems copies n elements from src[sOff] to dst[dOff] with the given
+// store kind: one modelled load plus one store, plus the real data movement
+// in Real mode. Copies that cross the private/shared boundary count toward
+// the paper's copy volume V.
+func (r *Rank) CopyElems(dst *memmodel.Buffer, dOff int64, src *memmodel.Buffer, sOff, n int64, kind memmodel.StoreKind) {
+	if n == 0 {
+		return
+	}
+	dst.CheckRange(dOff, n)
+	src.CheckRange(sOff, n)
+	if dst.Real() && src.Real() {
+		copy(dst.Slice(dOff, n), src.Slice(sOff, n))
+	}
+	m := r.machine.Model
+	m.Load(r.proc, r.Core(), src, sOff, n)
+	m.Store(r.proc, r.Core(), dst, dOff, n, kind)
+	if dst.Space != src.Space {
+		m.CountCopyVolume(n)
+	}
+}
+
+// AccumulateElems performs dst[dOff..] = op(dst[dOff..], src[sOff..]) over
+// n elements (the paper's A += B): two loads plus one store plus the
+// arithmetic floor.
+func (r *Rank) AccumulateElems(dst *memmodel.Buffer, dOff int64, src *memmodel.Buffer, sOff, n int64, op Op, kind memmodel.StoreKind) {
+	if n == 0 {
+		return
+	}
+	dst.CheckRange(dOff, n)
+	src.CheckRange(sOff, n)
+	if dst.Real() && src.Real() {
+		op.Apply(dst.Slice(dOff, n), src.Slice(sOff, n))
+	}
+	m := r.machine.Model
+	m.Load(r.proc, r.Core(), dst, dOff, n)
+	m.Load(r.proc, r.Core(), src, sOff, n)
+	m.Store(r.proc, r.Core(), dst, dOff, n, kind)
+	m.ReduceFloor(r.proc, n)
+}
+
+// CombineElems performs out[oOff..] = op(a[aOff..], b[bOff..]) over n
+// elements (the paper's C = A + B): two loads plus one store plus the
+// arithmetic floor.
+func (r *Rank) CombineElems(out *memmodel.Buffer, oOff int64, a *memmodel.Buffer, aOff int64, b *memmodel.Buffer, bOff, n int64, op Op, kind memmodel.StoreKind) {
+	if n == 0 {
+		return
+	}
+	out.CheckRange(oOff, n)
+	a.CheckRange(aOff, n)
+	b.CheckRange(bOff, n)
+	if out.Real() && a.Real() && b.Real() {
+		op.Combine(out.Slice(oOff, n), a.Slice(aOff, n), b.Slice(bOff, n))
+	}
+	m := r.machine.Model
+	m.Load(r.proc, r.Core(), a, aOff, n)
+	m.Load(r.proc, r.Core(), b, bOff, n)
+	m.Store(r.proc, r.Core(), out, oOff, n, kind)
+	m.ReduceFloor(r.proc, n)
+}
+
+// FillPattern writes a deterministic test pattern into a real buffer
+// without charging the model (test/bench setup helper). Element i of rank
+// r's buffer gets base + i.
+func (r *Rank) FillPattern(b *memmodel.Buffer, base float64) {
+	if !b.Real() {
+		return
+	}
+	data := b.Slice(0, b.Elems)
+	for i := range data {
+		data[i] = base + float64(i)
+	}
+}

@@ -1,0 +1,152 @@
+// Package profile is the reproduction of the paper's PMPI-style profiling
+// tool (§5.1): it wraps collective invocations on a machine and records,
+// per collective and message size, the simulated latency and the memory
+// counters, producing the summary an MPI developer would use to decide
+// where YHCCL helps.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+)
+
+// Sample is one recorded collective invocation.
+type Sample struct {
+	// Collective is the operation name ("allreduce", ...).
+	Collective string
+	// Bytes is the message size.
+	Bytes int64
+	// Seconds is the simulated duration of the invocation (max over
+	// ranks).
+	Seconds float64
+	// Counters holds the traffic deltas of the invocation.
+	Counters memmodel.Counters
+}
+
+// Profiler accumulates samples for one machine.
+type Profiler struct {
+	machine *mpi.Machine
+	samples []Sample
+
+	opens map[string]*open
+	seqs  map[string]map[int]int
+}
+
+// open tracks one collective invocation until every rank has passed
+// through it.
+type open struct {
+	label    string
+	bytes    int64
+	joined   int
+	inflight int
+	minStart float64
+	maxEnd   float64
+	before   memmodel.Counters
+}
+
+// New creates a profiler for the machine.
+func New(m *mpi.Machine) *Profiler {
+	return &Profiler{
+		machine: m,
+		opens:   make(map[string]*open),
+		seqs:    make(map[string]map[int]int),
+	}
+}
+
+// Wrap records one collective invocation executed inside a Machine.Run
+// body: every rank must call Wrap with the same label/bytes around the
+// collective call. The profiler measures rank-local start/end virtual
+// times; the slowest rank defines the sample duration.
+func (p *Profiler) Wrap(r *mpi.Rank, label string, bytes int64, call func()) {
+	// Every rank's i-th Wrap of a label belongs to invocation i.
+	perRank, ok := p.seqs[label]
+	if !ok {
+		perRank = make(map[int]int)
+		p.seqs[label] = perRank
+	}
+	seq := perRank[r.ID()]
+	perRank[r.ID()] = seq + 1
+	key := fmt.Sprintf("%s#%d", label, seq)
+
+	start := r.Now()
+	o, ok := p.opens[key]
+	if !ok {
+		o = &open{label: label, bytes: bytes, minStart: start,
+			before: p.machine.Model.Counters()}
+		p.opens[key] = o
+	}
+	if start < o.minStart {
+		o.minStart = start
+	}
+	o.joined++
+	o.inflight++
+	call()
+	if end := r.Now(); end > o.maxEnd {
+		o.maxEnd = end
+	}
+	o.inflight--
+	if o.inflight == 0 && o.joined == p.machine.Size() {
+		p.samples = append(p.samples, Sample{
+			Collective: o.label,
+			Bytes:      o.bytes,
+			Seconds:    o.maxEnd - o.minStart,
+			Counters:   p.machine.Model.Counters().Sub(o.before),
+		})
+		delete(p.opens, key)
+	}
+}
+
+// Samples returns all recorded samples.
+func (p *Profiler) Samples() []Sample { return p.samples }
+
+// Summary aggregates samples by (collective, bytes).
+type Summary struct {
+	Collective string
+	Bytes      int64
+	Calls      int
+	TotalTime  float64
+	TotalDAV   int64
+	TotalDRAM  int64
+}
+
+// Summarize groups the samples.
+func (p *Profiler) Summarize() []Summary {
+	agg := map[string]*Summary{}
+	for _, s := range p.samples {
+		key := fmt.Sprintf("%s/%d", s.Collective, s.Bytes)
+		e, ok := agg[key]
+		if !ok {
+			e = &Summary{Collective: s.Collective, Bytes: s.Bytes}
+			agg[key] = e
+		}
+		e.Calls++
+		e.TotalTime += s.Seconds
+		e.TotalDAV += s.Counters.DAV()
+		e.TotalDRAM += s.Counters.DRAMTraffic
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, e := range agg {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Collective != out[j].Collective {
+			return out[i].Collective < out[j].Collective
+		}
+		return out[i].Bytes < out[j].Bytes
+	})
+	return out
+}
+
+// Fprint renders the summary table.
+func (p *Profiler) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%-16s %10s %6s %12s %10s %10s\n",
+		"collective", "bytes", "calls", "total(us)", "DAV(MB)", "DRAM(MB)")
+	for _, s := range p.Summarize() {
+		fmt.Fprintf(w, "%-16s %10d %6d %12.1f %10d %10d\n",
+			s.Collective, s.Bytes, s.Calls, s.TotalTime*1e6, s.TotalDAV>>20, s.TotalDRAM>>20)
+	}
+}

@@ -1,0 +1,89 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"yhccl/internal/coll"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+func TestProfilerRecordsSamples(t *testing.T) {
+	const p = 8
+	const n = 1024
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	prof := New(m)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		for iter := 0; iter < 3; iter++ {
+			prof.Wrap(r, "allreduce", n*memmodel.ElemSize, func() {
+				coll.AllreduceYHCCL(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			})
+		}
+		prof.Wrap(r, "bcast", n*memmodel.ElemSize, func() {
+			coll.BcastPipelined(r, r.World(), sb, n, 0, coll.Options{})
+		})
+	})
+	samples := prof.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	for i, s := range samples {
+		if s.Seconds <= 0 {
+			t.Errorf("sample %d has non-positive duration", i)
+		}
+		if s.Counters.DAV() <= 0 {
+			t.Errorf("sample %d has no traffic", i)
+		}
+	}
+	sum := prof.Summarize()
+	if len(sum) != 2 {
+		t.Fatalf("got %d summary rows, want 2", len(sum))
+	}
+	byName := map[string]Summary{}
+	for _, s := range sum {
+		byName[s.Collective] = s
+	}
+	if byName["allreduce"].Calls != 3 || byName["bcast"].Calls != 1 {
+		t.Errorf("call counts wrong: %+v", byName)
+	}
+}
+
+func TestProfilerHandlesRootFastExit(t *testing.T) {
+	// Binomial bcast's root exits long before the leaves; the sample must
+	// close only when every rank has passed through.
+	const p = 16
+	const n = 4096
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	prof := New(m)
+	m.MustRun(func(r *mpi.Rank) {
+		buf := r.NewBuffer("buf", n)
+		prof.Wrap(r, "bcast", n*memmodel.ElemSize, func() {
+			coll.BcastBinomial(r, r.World(), buf, n, 0, coll.Options{})
+		})
+	})
+	if len(prof.Samples()) != 1 {
+		t.Fatalf("got %d samples, want 1", len(prof.Samples()))
+	}
+}
+
+func TestProfilerFprint(t *testing.T) {
+	m := mpi.NewMachine(topo.NodeA(), 4, true)
+	prof := New(m)
+	m.MustRun(func(r *mpi.Rank) {
+		sb := r.NewBuffer("sb", 256)
+		rb := r.NewBuffer("rb", 256)
+		prof.Wrap(r, "allreduce", 2048, func() {
+			coll.AllreduceYHCCL(r, r.World(), sb, rb, 256, mpi.Sum, coll.Options{})
+		})
+	})
+	var buf bytes.Buffer
+	prof.Fprint(&buf)
+	if !strings.Contains(buf.String(), "allreduce") {
+		t.Errorf("summary missing collective name:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,147 @@
+package shm
+
+import (
+	"testing"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/sim"
+	"yhccl/internal/topo"
+)
+
+func testModel() *memmodel.Model {
+	node := topo.NodeA()
+	cores := make([]int, node.Cores())
+	for i := range cores {
+		cores[i] = i
+	}
+	return memmodel.New(node, cores)
+}
+
+func TestArenaAllocShapes(t *testing.T) {
+	m := testModel()
+	a := NewArena(m, "test", true)
+	b := a.Alloc("seg", 1, 100)
+	if b.Space != memmodel.Shared {
+		t.Errorf("space = %v, want shared", b.Space)
+	}
+	if b.Home != 1 {
+		t.Errorf("home = %d, want 1", b.Home)
+	}
+	if !b.Real() || b.Elems != 100 {
+		t.Errorf("buffer not real or wrong size")
+	}
+	p := a.AllocPinned("ring", 0, 10)
+	if !p.Pinned {
+		t.Error("AllocPinned did not pin")
+	}
+}
+
+func TestArenaModelOnlyMode(t *testing.T) {
+	m := testModel()
+	a := NewArena(m, "test", false)
+	if a.Alloc("seg", 0, 100).Real() {
+		t.Error("model-only arena allocated real data")
+	}
+}
+
+func TestFlagChargesCoherenceLatency(t *testing.T) {
+	m := testModel()
+	node := m.Node
+	f := NewFlag(m, "f", 0) // owned by core 0 (socket 0)
+	e := sim.NewEngine()
+	var intraT, interT float64
+	e.Spawn("setter", func(p *sim.Proc) {
+		p.Advance(1e-6)
+		f.Set(p, 1)
+	})
+	e.Spawn("intra", func(p *sim.Proc) {
+		f.Wait(p, 1, 1) // waiter on core 1, same socket
+		intraT = p.Now()
+	})
+	e.Spawn("inter", func(p *sim.Proc) {
+		f.Wait(p, 32, 1) // waiter on core 32, other socket
+		interT = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 1e-6 + node.SyncLatencyIntra; !close(intraT, want) {
+		t.Errorf("intra waiter released at %g, want %g", intraT, want)
+	}
+	if want := 1e-6 + node.SyncLatencyInter; !close(interT, want) {
+		t.Errorf("inter waiter released at %g, want %g", interT, want)
+	}
+	if m.Counters().SyncCount != 2 {
+		t.Errorf("sync count = %d, want 2", m.Counters().SyncCount)
+	}
+}
+
+func TestBarrierLatencyScalesWithLogP(t *testing.T) {
+	m := testModel()
+	bSmall := NewBarrier(m, "b2", []int{0, 1})
+	bBig := NewBarrier(m, "b32", intRange(32))
+	e := sim.NewEngine()
+	var t2 float64
+	for i := 0; i < 2; i++ {
+		e.Spawn("p", func(p *sim.Proc) {
+			bSmall.Arrive(p)
+			t2 = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := sim.NewEngine()
+	var t32 float64
+	for i := 0; i < 32; i++ {
+		e2.Spawn("p", func(p *sim.Proc) {
+			bBig.Arrive(p)
+			t32 = p.Now()
+		})
+	}
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t32 <= t2 {
+		t.Errorf("32-party barrier (%g) should cost more than 2-party (%g)", t32, t2)
+	}
+}
+
+func TestBarrierCrossSocketCostsMore(t *testing.T) {
+	m := testModel()
+	intra := NewBarrier(m, "intra", []int{0, 1, 2, 3})
+	inter := NewBarrier(m, "inter", []int{0, 1, 32, 33})
+	run := func(b *Barrier, parties int) float64 {
+		e := sim.NewEngine()
+		var end float64
+		for i := 0; i < parties; i++ {
+			e.Spawn("p", func(p *sim.Proc) {
+				b.Arrive(p)
+				end = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if ti, tx := run(intra, 4), run(inter, 4); tx <= ti {
+		t.Errorf("cross-socket barrier (%g) should cost more than intra (%g)", tx, ti)
+	}
+}
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12 || d < 1e-9*b
+}

@@ -1,0 +1,296 @@
+// Package sim implements a deterministic discrete-event engine for simulating
+// parallel processes with per-process virtual clocks.
+//
+// Each simulated process (Proc) runs in its own goroutine, but the engine
+// enforces that exactly one process executes at a time and always resumes the
+// runnable process with the smallest virtual clock. Events are therefore
+// processed in simulated-time order, which makes runs fully deterministic:
+// the same program produces the same clocks, the same cache-residency
+// decisions and the same counter values on every run, regardless of the Go
+// scheduler.
+//
+// The engine is the substrate for the MPI-rank runtime in internal/mpi: a
+// rank advances its clock when it performs (modelled) memory operations and
+// blocks on flags/barriers when it synchronizes with other ranks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// State describes the lifecycle of a Proc.
+type State int
+
+const (
+	// Ready means the proc can be scheduled.
+	Ready State = iota
+	// Running means the proc is the one currently executing.
+	Running
+	// Blocked means the proc is waiting on a flag or barrier.
+	Blocked
+	// Done means the proc body returned.
+	Done
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Proc is a simulated process with a virtual clock.
+type Proc struct {
+	id     int
+	name   string
+	engine *Engine
+
+	clock float64 // seconds of virtual time
+	state State
+
+	resume chan struct{} // engine -> proc handoff
+	parked chan struct{} // proc -> engine handoff
+
+	blockReason string
+	heapIndex   int
+
+	// seq breaks clock ties deterministically (FIFO by last-yield order).
+	seq uint64
+}
+
+// ID returns the process id assigned at spawn time (dense, starting at 0).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process's current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.clock }
+
+// Advance moves the process's virtual clock forward by dt seconds and yields
+// to the engine so that other processes with earlier clocks may run.
+// Negative or NaN dt panics: the cost model must never produce one.
+func (p *Proc) Advance(dt float64) {
+	if dt < 0 || math.IsNaN(dt) {
+		panic(fmt.Sprintf("sim: proc %q advanced by invalid dt %v", p.name, dt))
+	}
+	p.clock += dt
+	p.yield()
+}
+
+// AdvanceTo moves the clock forward to at least t (no-op if already past).
+func (p *Proc) AdvanceTo(t float64) {
+	if t > p.clock {
+		p.clock = t
+	}
+	p.yield()
+}
+
+// Yield gives other processes a chance to run without advancing the clock.
+func (p *Proc) Yield() { p.yield() }
+
+// yield hands control back to the engine loop — unless this proc is still
+// the earliest runnable one, in which case parking would only buy an
+// immediate resume. Skipping the handoff preserves virtual-time order
+// exactly (we only keep running while no runnable proc has an earlier
+// clock) and removes the dominant per-operation cost for compute-heavy
+// stretches.
+func (p *Proc) yield() {
+	e := p.engine
+	if e.current == p && (e.runnable.Len() == 0 || p.clock <= e.runnable[0].clock) {
+		return
+	}
+	p.state = Ready
+	p.parked <- struct{}{}
+	<-p.resume
+	p.state = Running
+}
+
+// block parks the proc in the Blocked state; it will not be scheduled until
+// some other proc calls unblock on it.
+func (p *Proc) block(reason string) {
+	p.state = Blocked
+	p.blockReason = reason
+	p.parked <- struct{}{}
+	<-p.resume
+	p.state = Running
+	p.blockReason = ""
+}
+
+// unblock marks a blocked proc runnable, raising its clock to at least t.
+// Must be called from the currently running proc (or the engine).
+func (p *Proc) unblock(t float64) {
+	if p.state != Blocked {
+		panic(fmt.Sprintf("sim: unblock of proc %q in state %s", p.name, p.state))
+	}
+	if t > p.clock {
+		p.clock = t
+	}
+	p.state = Ready
+	p.engine.makeRunnable(p)
+}
+
+// Engine owns a set of Procs and schedules them in virtual-time order.
+type Engine struct {
+	procs    []*Proc
+	runnable procHeap
+	started  bool
+	finished int
+	seqGen   uint64
+
+	// current is the proc executing right now (nil while the engine loop
+	// itself runs).
+	current *Proc
+
+	panicVal interface{}
+	panicned bool
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Spawn registers a new process with the given body. It must be called
+// before Run. The body runs in its own goroutine under engine control.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	if e.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		id:     len(e.procs),
+		name:   name,
+		engine: e,
+		state:  Ready,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		p.state = Running
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicVal = r
+				e.panicned = true
+			}
+			p.state = Done
+			p.parked <- struct{}{}
+		}()
+		body(p)
+	}()
+	return p
+}
+
+// Procs returns all spawned processes.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// makeRunnable pushes p onto the runnable heap.
+func (e *Engine) makeRunnable(p *Proc) {
+	e.seqGen++
+	p.seq = e.seqGen
+	heap.Push(&e.runnable, p)
+}
+
+// Run executes all processes to completion in virtual-time order.
+// It returns an error if the simulation deadlocks (some processes remain
+// blocked with nothing runnable) or if a process panicked.
+func (e *Engine) Run() error {
+	if e.started {
+		return fmt.Errorf("sim: engine already ran")
+	}
+	e.started = true
+	for _, p := range e.procs {
+		e.makeRunnable(p)
+	}
+	for e.runnable.Len() > 0 {
+		p := heap.Pop(&e.runnable).(*Proc)
+		e.current = p
+		p.resume <- struct{}{}
+		<-p.parked
+		e.current = nil
+		if e.panicned {
+			pv := e.panicVal
+			e.panicned = false
+			panic(pv) // re-raise proc panics on the caller's goroutine
+		}
+		switch p.state {
+		case Ready:
+			e.makeRunnable(p)
+		case Blocked:
+			// stays off the heap until unblocked
+		case Done:
+			e.finished++
+		}
+	}
+	if e.finished != len(e.procs) {
+		return fmt.Errorf("sim: deadlock, %d of %d procs blocked: %s",
+			len(e.procs)-e.finished, len(e.procs), e.blockedSummary())
+	}
+	return nil
+}
+
+// blockedSummary lists blocked processes and their reasons for diagnostics.
+func (e *Engine) blockedSummary() string {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == Blocked {
+			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, p.blockReason))
+		}
+	}
+	sort.Strings(blocked)
+	return strings.Join(blocked, ", ")
+}
+
+// MaxClock returns the largest clock across all processes; after Run this is
+// the simulated makespan.
+func (e *Engine) MaxClock() float64 {
+	max := 0.0
+	for _, p := range e.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}
+
+// procHeap orders procs by (clock, seq).
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].seq < h[j].seq
+}
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *procHeap) Push(x interface{}) {
+	p := x.(*Proc)
+	p.heapIndex = len(*h)
+	*h = append(*h, p)
+}
+func (h *procHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Tracer records simulation events for post-mortem inspection. Events are
+// exported in the Chrome trace-event format (chrome://tracing, Perfetto),
+// with one "thread" per simulated process and virtual time mapped to
+// microseconds.
+type Tracer struct {
+	events []traceEvent
+	// scale converts virtual seconds to trace microseconds.
+	scale float64
+}
+
+// traceEvent is one Chrome trace-event entry.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur,omitempty"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// NewTracer creates a tracer; virtual seconds are exported as microseconds.
+func NewTracer() *Tracer {
+	return &Tracer{scale: 1e6}
+}
+
+// Span records a named interval [from, to) on proc p's timeline.
+func (t *Tracer) Span(p *Proc, name string, from, to float64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Phase: "X",
+		TS: from * t.scale, Dur: (to - from) * t.scale,
+		PID: 0, TID: p.id,
+	})
+}
+
+// Instant records a point event at proc p's current time.
+func (t *Tracer) Instant(p *Proc, name string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Phase: "i",
+		TS: p.clock * t.scale, PID: 0, TID: p.id,
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// WriteJSON emits the trace in Chrome trace-event JSON array format.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, e := range t.events {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// TracedAdvance advances p by dt and records the interval under name.
+// It is the instrumented variant of Advance for callers that carry a
+// Tracer (nil tracers are free).
+func (p *Proc) TracedAdvance(t *Tracer, name string, dt float64) {
+	from := p.clock
+	p.Advance(dt)
+	if t != nil {
+		t.Span(p, name, from, p.clock)
+	}
+}
+
+// String summarizes the tracer for diagnostics.
+func (t *Tracer) String() string {
+	return fmt.Sprintf("sim.Tracer{%d events}", len(t.events))
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer()
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		p.TracedAdvance(tr, "work", 1e-6)
+		tr.Instant(p, "marker")
+		p.TracedAdvance(tr, "more", 2e-6)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("events = %d, want 3", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events", len(events))
+	}
+	if events[0]["name"] != "work" || events[0]["ph"] != "X" {
+		t.Errorf("first event = %v", events[0])
+	}
+	if dur := events[0]["dur"].(float64); dur < 0.99 || dur > 1.01 {
+		t.Errorf("span duration = %v us, want 1", dur)
+	}
+	if events[1]["ph"] != "i" {
+		t.Errorf("instant phase = %v", events[1]["ph"])
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		p.TracedAdvance(nil, "work", 1e-6)
+		var tr *Tracer
+		tr.Span(p, "x", 0, 1) // must not panic
+		tr.Instant(p, "y")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerString(t *testing.T) {
+	tr := NewTracer()
+	if !strings.Contains(tr.String(), "0 events") {
+		t.Errorf("String() = %s", tr.String())
+	}
+}

@@ -1,0 +1,236 @@
+// Package yhccl is a Go reproduction of "Optimizing MPI Collectives on
+// Shared Memory Multi-Cores" (Peng et al., SC'23): the YHCCL collective
+// communication library — movement-avoiding (MA) reduction algorithms and
+// adaptive non-temporal-store pipelined collectives — together with every
+// baseline the paper evaluates against, running on a deterministic
+// simulation of the paper's multi-core nodes.
+//
+// The public API wraps the internal packages into the shape an MPI-style
+// user expects:
+//
+//	node := yhccl.NodeA()                     // 2x32-core EPYC description
+//	m := yhccl.NewMachine(node, 64, true)     // 64 ranks, real data
+//	m.MustRun(func(r *yhccl.Rank) {
+//	    sb := r.NewBuffer("sb", 1<<20)
+//	    rb := r.NewBuffer("rb", 1<<20)
+//	    yhccl.Allreduce(r, sb, rb, 1<<20, yhccl.Sum, yhccl.Options{})
+//	})
+//
+// Machines run either with real payloads (Real = true: every collective
+// moves and reduces actual float64 data, validated by the test suite) or
+// model-only (timing studies at paper scale, 64 KB-256 MB x 64 ranks,
+// without allocating the payloads). Simulated time, data-access volume and
+// DRAM-traffic counters are available from Machine.Model.
+//
+// See DESIGN.md for the system inventory and the paper-to-module map, and
+// EXPERIMENTS.md for the reproduced tables and figures.
+package yhccl
+
+import (
+	"yhccl/internal/coll"
+	"yhccl/internal/memcopy"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/topo"
+)
+
+// Node describes a shared-memory node's topology and calibrated
+// bandwidths.
+type Node = topo.Node
+
+// Machine binds a node, a memory cost model and a set of ranks.
+type Machine = mpi.Machine
+
+// Rank is one simulated MPI process.
+type Rank = mpi.Rank
+
+// Comm is a communicator.
+type Comm = mpi.Comm
+
+// Buffer is a modelled (optionally data-carrying) message buffer.
+type Buffer = memmodel.Buffer
+
+// Op is a reduction operation.
+type Op = mpi.Op
+
+// Options tunes algorithm selection, slice sizes and the copy policy.
+type Options = coll.Options
+
+// Policy selects a copy implementation (memmove, t-copy, nt-copy,
+// adaptive).
+type Policy = memcopy.Policy
+
+// Reduction operations.
+var (
+	// Sum is MPI_SUM.
+	Sum = mpi.Sum
+	// Max is MPI_MAX.
+	Max = mpi.Max
+	// Min is MPI_MIN.
+	Min = mpi.Min
+	// Prod is MPI_PROD.
+	Prod = mpi.Prod
+)
+
+// Copy policies (Fig. 12-14's contenders).
+const (
+	// Memmove is the C-library copy with a size-threshold NT switch.
+	Memmove = memcopy.Memmove
+	// TCopy always uses temporal stores.
+	TCopy = memcopy.TCopy
+	// NTCopy always uses non-temporal stores.
+	NTCopy = memcopy.NTCopy
+	// Adaptive is the paper's adaptive-copy (Algorithm 1).
+	Adaptive = memcopy.Adaptive
+)
+
+// NodeA returns the 2 x 32-core AMD EPYC 7452 evaluation node.
+func NodeA() *Node { return topo.NodeA() }
+
+// NodeB returns the 2 x 24-core Intel Xeon Platinum 8163 node.
+func NodeB() *Node { return topo.NodeB() }
+
+// NodeC returns the 2 x 12-core Xeon E5-2692 v2 (Cluster C) node.
+func NodeC() *Node { return topo.NodeC() }
+
+// NewMachine creates a machine with p ranks block-bound to cores 0..p-1.
+// real selects whether buffers carry actual data.
+func NewMachine(node *Node, p int, real bool) *Machine {
+	return mpi.NewMachine(node, p, real)
+}
+
+// NewMachineWithBinding creates a machine with an explicit rank-to-core
+// binding.
+func NewMachineWithBinding(node *Node, rankCores []int, real bool) *Machine {
+	return mpi.NewMachineWithBinding(node, rankCores, real)
+}
+
+// Allreduce runs YHCCL's all-reduce (two-level parallel reduction below
+// the small-message switch, socket-aware movement-avoiding reduction
+// above) on the world communicator: rb = op over all ranks' sb.
+func Allreduce(r *Rank, sb, rb *Buffer, n int64, op Op, o Options) {
+	coll.AllreduceYHCCL(r, r.World(), sb, rb, n, op, o)
+}
+
+// ReduceScatter runs YHCCL's reduce-scatter: sb holds p blocks of n
+// elements; rank i receives the reduction of block i in rb.
+func ReduceScatter(r *Rank, sb, rb *Buffer, n int64, op Op, o Options) {
+	coll.ReduceScatterYHCCL(r, r.World(), sb, rb, n, op, o)
+}
+
+// Reduce runs YHCCL's rooted reduce: root's rb receives the reduction.
+func Reduce(r *Rank, sb, rb *Buffer, n int64, op Op, root int, o Options) {
+	coll.ReduceYHCCL(r, r.World(), sb, rb, n, op, root, o)
+}
+
+// Bcast runs YHCCL's adaptive pipelined broadcast over buf.
+func Bcast(r *Rank, buf *Buffer, n int64, root int, o Options) {
+	coll.BcastPipelined(r, r.World(), buf, n, root, o)
+}
+
+// Allgather runs YHCCL's adaptive pipelined all-gather: sb has n elements,
+// rb receives p*n.
+func Allgather(r *Rank, sb, rb *Buffer, n int64, o Options) {
+	coll.AllgatherPipelined(r, r.World(), sb, rb, n, Sum, o)
+}
+
+// Gather runs the shared-memory gather: root's rb receives p blocks of n.
+func Gather(r *Rank, sb, rb *Buffer, n int64, root int, o Options) {
+	coll.GatherShm(r, r.World(), sb, rb, n, root, o)
+}
+
+// Scatter runs the shared-memory scatter: root's sb holds p blocks of n;
+// rank i's rb receives block i.
+func Scatter(r *Rank, sb, rb *Buffer, n int64, root int, o Options) {
+	coll.ScatterShm(r, r.World(), sb, rb, n, root, o)
+}
+
+// Alltoall runs the cache-oblivious (Morton-order) personalized exchange:
+// rank i's rb block j receives rank j's block i.
+func Alltoall(r *Rank, sb, rb *Buffer, n int64, o Options) {
+	coll.AlltoallMorton(r, r.World(), sb, rb, n, o)
+}
+
+// Scan runs the movement-avoiding chained inclusive prefix reduction:
+// rank i's rb receives op over ranks 0..i.
+func Scan(r *Rank, sb, rb *Buffer, n int64, op Op, o Options) {
+	coll.ScanChain(r, r.World(), sb, rb, n, op, o)
+}
+
+// AllreduceAlg, ReduceScatterAlg, ReduceAlg, BcastAlg and AllgatherAlg run
+// a named algorithm from the registries (the baselines of Figs. 9-15):
+// see AlgorithmNames.
+func AllreduceAlg(name string, r *Rank, sb, rb *Buffer, n int64, op Op, o Options) error {
+	f, err := coll.Lookup(coll.AllreduceAlgos, name)
+	if err != nil {
+		return err
+	}
+	f(r, r.World(), sb, rb, n, op, o)
+	return nil
+}
+
+// ReduceScatterAlg runs a named reduce-scatter algorithm.
+func ReduceScatterAlg(name string, r *Rank, sb, rb *Buffer, n int64, op Op, o Options) error {
+	f, err := coll.Lookup(coll.ReduceScatterAlgos, name)
+	if err != nil {
+		return err
+	}
+	f(r, r.World(), sb, rb, n, op, o)
+	return nil
+}
+
+// ReduceAlg runs a named rooted-reduce algorithm.
+func ReduceAlg(name string, r *Rank, sb, rb *Buffer, n int64, op Op, root int, o Options) error {
+	f, err := coll.Lookup(coll.ReduceAlgos, name)
+	if err != nil {
+		return err
+	}
+	f(r, r.World(), sb, rb, n, op, root, o)
+	return nil
+}
+
+// BcastAlg runs a named broadcast algorithm.
+func BcastAlg(name string, r *Rank, buf *Buffer, n int64, root int, o Options) error {
+	f, err := coll.Lookup(coll.BcastAlgos, name)
+	if err != nil {
+		return err
+	}
+	f(r, r.World(), buf, n, root, o)
+	return nil
+}
+
+// AllgatherAlg runs a named all-gather algorithm.
+func AllgatherAlg(name string, r *Rank, sb, rb *Buffer, n int64, o Options) error {
+	f, err := coll.Lookup(coll.AllgatherAlgos, name)
+	if err != nil {
+		return err
+	}
+	f(r, r.World(), sb, rb, n, Sum, o)
+	return nil
+}
+
+// AlgorithmNames lists the registered algorithm names for a collective
+// ("allreduce", "reduce-scatter", "reduce", "bcast", "allgather").
+func AlgorithmNames(collective string) []string {
+	switch collective {
+	case "allreduce":
+		return coll.Names(coll.AllreduceAlgos)
+	case "reduce-scatter", "reducescatter":
+		return coll.Names(coll.ReduceScatterAlgos)
+	case "reduce":
+		return coll.Names(coll.ReduceAlgos)
+	case "bcast", "broadcast":
+		return coll.Names(coll.BcastAlgos)
+	case "allgather":
+		return coll.Names(coll.AllgatherAlgos)
+	case "gather":
+		return coll.Names(coll.GatherAlgos)
+	case "scatter":
+		return coll.Names(coll.ScatterAlgos)
+	case "alltoall":
+		return coll.Names(coll.AlltoallAlgos)
+	case "scan":
+		return coll.Names(coll.ScanAlgos)
+	}
+	return nil
+}

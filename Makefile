@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Engine + residency micro-benchmarks (text output, for quick comparisons).
+bench:
+	$(GO) test ./internal/sim ./internal/memmodel -bench . -run '^$$' -benchtime 1s
+
+# Regenerate BENCH_sim.json (micro-benchmarks + fig11a quick wall-clock).
+bench-baseline:
+	./scripts/bench_baseline.sh

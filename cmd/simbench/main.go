@@ -1,0 +1,245 @@
+// Command simbench measures the simulator's own performance — the
+// engine's control-transfer primitives, the residency tracker's hot
+// paths and the wall-clock time of a full quick figure sweep — and
+// emits the results as JSON suitable for checking in as BENCH_sim.json.
+//
+// Usage:
+//
+//	go run ./cmd/simbench            # full run, JSON on stdout
+//	go run ./cmd/simbench -skip-fig  # micro-benchmarks only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"yhccl/internal/bench"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/sim"
+	"yhccl/internal/topo"
+)
+
+type result struct {
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+type report struct {
+	GoVersion          string            `json:"go_version"`
+	GOOS               string            `json:"goos"`
+	GOARCH             string            `json:"goarch"`
+	NumCPU             int               `json:"num_cpu"`
+	Benchmarks         map[string]result `json:"benchmarks"`
+	Fig11aQuickSeconds float64           `json:"fig11a_quick_wall_seconds,omitempty"`
+}
+
+func run(name string, f func(b *testing.B), out map[string]result) {
+	r := testing.Benchmark(f)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	out[name] = result{
+		NsPerOp:     ns,
+		OpsPerSec:   1e9 / ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	fmt.Fprintf(os.Stderr, "%-24s %10.1f ns/op %14.0f ops/sec\n", name, ns, 1e9/ns)
+}
+
+func engineYield(b *testing.B) {
+	e := sim.NewEngine()
+	n := b.N
+	e.Spawn("a", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Advance(2)
+		}
+	})
+	e.Spawn("b", func(p *sim.Proc) {
+		p.Advance(1)
+		for i := 0; i < n; i++ {
+			p.Advance(2)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func engineYieldFast(b *testing.B) {
+	e := sim.NewEngine()
+	n := b.N
+	e.Spawn("solo", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Advance(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func engineFlagWait(b *testing.B) {
+	e := sim.NewEngine()
+	fa, fb := sim.NewFlag("a"), sim.NewFlag("b")
+	n := b.N
+	e.Spawn("a", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Advance(0.001)
+			p.Incr(fa)
+			p.Wait(fb, uint64(i+1), 0.001)
+		}
+	})
+	e.Spawn("b", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Wait(fa, uint64(i+1), 0.001)
+			p.Advance(0.001)
+			p.Incr(fb)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func engineBarrier(b *testing.B) {
+	const parties = 8
+	e := sim.NewEngine()
+	bar := sim.NewBarrier("bench", parties)
+	n := b.N
+	for i := 0; i < parties; i++ {
+		i := i
+		e.Spawn("p", func(p *sim.Proc) {
+			for j := 0; j < n; j++ {
+				p.Advance(float64(i+1) * 0.001)
+				p.Arrive(bar, 0.001)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func engineMixed(b *testing.B) {
+	const procs = 16
+	e := sim.NewEngine()
+	f := sim.NewFlag("f")
+	bar := sim.NewBarrier("bar", procs)
+	rng := rand.New(rand.NewSource(42))
+	durs := make([]float64, 1024)
+	for i := range durs {
+		durs[i] = rng.Float64() * 0.01
+	}
+	n := b.N
+	for i := 0; i < procs; i++ {
+		i := i
+		e.Spawn("p", func(p *sim.Proc) {
+			for j := 0; j < n; j++ {
+				p.Advance(durs[(i*131+j)%len(durs)])
+				if i == 0 {
+					p.Set(f, uint64(j+1))
+				} else {
+					p.Wait(f, uint64(j+1), 0.0001)
+				}
+				p.Arrive(bar, 0.0001)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// residencyInsert drives the tracker's insert path through Model.Warm
+// with a working set 4x the cache capacity, so steady state evicts on
+// every insert.
+func residencyInsert(b *testing.B) {
+	node := topo.NodeA()
+	m := memmodel.New(node, []int{0})
+	pages := 4 * node.L3PerSocket / 4096
+	buf := m.NewBuffer("bench", memmodel.Private, 0, pages*4096, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i) % pages * 4096
+		m.Warm(0, buf, off, 4096)
+	}
+}
+
+// residencyLookup measures Model.Load of fully-resident data on a
+// running sim proc — the per-chunk hot path of every collective.
+func residencyLookup(b *testing.B) {
+	node := topo.NodeA()
+	m := memmodel.New(node, []int{0})
+	const span = 1 << 20
+	buf := m.NewBuffer("bench", memmodel.Private, 0, span, false)
+	m.Warm(0, buf, 0, span)
+	e := sim.NewEngine()
+	n := b.N
+	e.Spawn("r", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			off := int64(i%256) * 4096
+			m.Load(p, 0, buf, off, 512)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func main() {
+	skipFig := flag.Bool("skip-fig", false, "skip the fig11a quick wall-clock run")
+	flag.Parse()
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: map[string]result{},
+	}
+	run("engine_yield", engineYield, rep.Benchmarks)
+	run("engine_yield_fast", engineYieldFast, rep.Benchmarks)
+	run("engine_flag_wait", engineFlagWait, rep.Benchmarks)
+	run("engine_barrier", engineBarrier, rep.Benchmarks)
+	run("engine_mixed", engineMixed, rep.Benchmarks)
+	run("residency_insert", residencyInsert, rep.Benchmarks)
+	run("residency_lookup", residencyLookup, rep.Benchmarks)
+
+	if !*skipFig {
+		fmt.Fprintf(os.Stderr, "running fig11a quick sweep...\n")
+		start := time.Now()
+		if _, err := bench.Run("fig11a", true); err != nil {
+			fmt.Fprintf(os.Stderr, "fig11a: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Fig11aQuickSeconds = time.Since(start).Seconds()
+		fmt.Fprintf(os.Stderr, "fig11a quick: %.1f s\n", rep.Fig11aQuickSeconds)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

@@ -1,8 +1,8 @@
 package memmodel
 
 import (
-	"container/list"
 	"fmt"
+	"sort"
 )
 
 // cacheState tracks, for one socket, which byte ranges of which buffers are
@@ -12,25 +12,62 @@ import (
 // per operation in practice. internal/cachesim provides a line-granular
 // simulator used to validate this approximation.
 //
-// Regions are kept in a recency list (LRU at the front). Inserting a region
-// that overlaps existing ones trims the old regions; inserting beyond
-// capacity evicts from the LRU end, reporting how many dirty bytes were
-// written back so the caller can charge DRAM traffic.
+// Regions are kept on an intrusive recency list (LRU at the front; no
+// per-node allocations). Inserting a region that overlaps existing ones
+// trims the old regions; inserting beyond capacity evicts from the LRU end,
+// reporting how many dirty bytes were written back so the caller can charge
+// DRAM traffic. Evicted and trimmed-away region objects are recycled
+// through a free list, and per-buffer indexes are sorted by lo and searched
+// with binary search.
+//
+// Fragmentation control: a freshly inserted region merges with the region
+// used immediately before it (its LRU predecessor) when the two are
+// address-adjacent in the same buffer with the same dirty state, so
+// streaming access keeps one growing region instead of one per chunk. The
+// merge is purely representational — the merged region records its
+// constituent segments in recency order, and any operation that could
+// observe granularity (LRU eviction, partial removal) first explodes the
+// region back into exactly the plain regions an unmerged tracker would
+// hold. Simulated times, traffic counters and residency decisions are
+// therefore bit-identical with and without merging (golden-determinism
+// tests in internal/bench enforce this).
 type cacheState struct {
 	socket   int
 	capacity int64
 	used     int64
-	lru      *list.List           // of *region, front = LRU
-	byBuf    map[uint64][]*region // per-buffer, sorted by lo
+
+	// Intrusive LRU list: lruFront is the next victim, lruBack the most
+	// recently used region. nregions counts list members.
+	lruFront *region
+	lruBack  *region
+	nregions int
+
+	// free chains recycled region objects through their next pointers.
+	free *region
+
+	byBuf map[uint64][]*region // per-buffer, sorted by lo
 }
 
 // region is a cached byte range [lo, hi) of one buffer.
 type region struct {
-	buf    uint64
-	lo, hi int64
-	dirty  bool
-	elem   *list.Element
+	buf        uint64
+	lo, hi     int64
+	dirty      bool
+	prev, next *region // intrusive LRU links (next also chains the free list)
+
+	// segs, when non-empty, lists the merged constituent sub-ranges in
+	// recency order (oldest first). The segments tile [lo, hi) exactly.
+	// A plain (unmerged) region has segs == nil.
+	segs [][2]int64
 }
+
+// maxSegs bounds how many constituent sub-ranges a merged region may
+// carry. Merging is purely representational (explode restores the exact
+// unmerged state), so the cap cannot change simulated behavior; it only
+// bounds the cost of an explode and prevents a merge/explode thrash
+// cycle under eviction pressure, where a single unbounded merged region
+// would be exploded and fully re-merged on every insert.
+const maxSegs = 64
 
 func (r *region) len() int64 { return r.hi - r.lo }
 
@@ -41,22 +78,120 @@ func newCacheState(socket int, capacity int64) *cacheState {
 	return &cacheState{
 		socket:   socket,
 		capacity: capacity,
-		lru:      list.New(),
 		byBuf:    make(map[uint64][]*region),
 	}
 }
 
+// alloc returns a region initialized to the given range, recycling a freed
+// object when one is available.
+func (c *cacheState) alloc(buf uint64, lo, hi int64, dirty bool) *region {
+	r := c.free
+	if r != nil {
+		c.free = r.next
+		*r = region{buf: buf, lo: lo, hi: hi, dirty: dirty}
+	} else {
+		r = &region{buf: buf, lo: lo, hi: hi, dirty: dirty}
+	}
+	return r
+}
+
+// release puts a region (already off the LRU list and out of byBuf) onto
+// the free list.
+func (c *cacheState) release(r *region) {
+	*r = region{next: c.free}
+	c.free = r
+}
+
+// lruPushBack appends r as the most recently used region.
+func (c *cacheState) lruPushBack(r *region) {
+	r.prev, r.next = c.lruBack, nil
+	if c.lruBack != nil {
+		c.lruBack.next = r
+	} else {
+		c.lruFront = r
+	}
+	c.lruBack = r
+	c.nregions++
+}
+
+// lruInsertAfter links r immediately after `after` in recency order.
+func (c *cacheState) lruInsertAfter(r, after *region) {
+	r.prev, r.next = after, after.next
+	if after.next != nil {
+		after.next.prev = r
+	} else {
+		c.lruBack = r
+	}
+	after.next = r
+	c.nregions++
+}
+
+// lruRemove unlinks r from the recency list.
+func (c *cacheState) lruRemove(r *region) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		c.lruFront = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		c.lruBack = r.prev
+	}
+	r.prev, r.next = nil, nil
+	c.nregions--
+}
+
+// insertSorted splices r into the lo-sorted per-buffer index.
+func insertSorted(rs []*region, r *region) []*region {
+	i := sort.Search(len(rs), func(j int) bool { return rs[j].lo >= r.lo })
+	rs = append(rs, nil)
+	copy(rs[i+1:], rs[i:])
+	rs[i] = r
+	return rs
+}
+
+// overlapStart returns the index of the first region of rs that may overlap
+// [lo, ...): regions are disjoint and sorted by lo, so their hi values are
+// sorted too and binary search applies.
+func overlapStart(rs []*region, lo int64) int {
+	return sort.Search(len(rs), func(i int) bool { return rs[i].hi > lo })
+}
+
+// explode dissolves a merged region back into one plain region per
+// recorded segment, at the same LRU position and in segment (recency)
+// order — exactly the regions an unmerged tracker would hold. Returns the
+// region of the newest segment. No-op on plain regions.
+func (c *cacheState) explode(r *region) *region {
+	if len(r.segs) == 0 {
+		return r
+	}
+	segs := r.segs
+	r.segs = nil
+	rs := c.byBuf[r.buf]
+	i := sort.Search(len(rs), func(j int) bool { return rs[j].lo >= r.lo })
+	rs = append(rs[:i], rs[i+1:]...)
+	// The oldest segment reuses r itself, keeping its LRU links; younger
+	// segments are threaded in immediately after it, oldest to newest.
+	r.lo, r.hi = segs[0][0], segs[0][1]
+	rs = insertSorted(rs, r)
+	last := r
+	for _, s := range segs[1:] {
+		nr := c.alloc(r.buf, s[0], s[1], r.dirty)
+		c.lruInsertAfter(nr, last)
+		rs = insertSorted(rs, nr)
+		last = nr
+	}
+	c.byBuf[r.buf] = rs
+	return last
+}
+
 // lookup returns how many bytes of [lo, hi) of buffer b are cached.
 func (c *cacheState) lookup(buf uint64, lo, hi int64) int64 {
+	rs := c.byBuf[buf]
 	var cached int64
-	for _, r := range c.byBuf[buf] {
-		if r.hi <= lo {
-			continue
-		}
-		if r.lo >= hi {
-			break
-		}
-		a, b := max64(r.lo, lo), min64(r.hi, hi)
+	for i := overlapStart(rs, lo); i < len(rs) && rs[i].lo < hi; i++ {
+		a, b := max64(rs[i].lo, lo), min64(rs[i].hi, hi)
 		cached += b - a
 	}
 	return cached
@@ -64,15 +199,13 @@ func (c *cacheState) lookup(buf uint64, lo, hi int64) int64 {
 
 // lookupDirty returns how many bytes of [lo, hi) are cached dirty.
 func (c *cacheState) lookupDirty(buf uint64, lo, hi int64) int64 {
+	rs := c.byBuf[buf]
 	var dirty int64
-	for _, r := range c.byBuf[buf] {
-		if r.hi <= lo || !r.dirty {
+	for i := overlapStart(rs, lo); i < len(rs) && rs[i].lo < hi; i++ {
+		if !rs[i].dirty {
 			continue
 		}
-		if r.lo >= hi {
-			break
-		}
-		a, b := max64(r.lo, lo), min64(r.hi, hi)
+		a, b := max64(rs[i].lo, lo), min64(rs[i].hi, hi)
 		dirty += b - a
 	}
 	return dirty
@@ -93,19 +226,66 @@ func (c *cacheState) insert(buf uint64, lo, hi int64, dirty bool) (writeback int
 		lo = hi - c.capacity
 	}
 	c.remove(buf, lo, hi)
-	r := &region{buf: buf, lo: lo, hi: hi, dirty: dirty}
-	r.elem = c.lru.PushBack(r)
+	r := c.alloc(buf, lo, hi, dirty)
+	c.lruPushBack(r)
 	c.byBuf[buf] = insertSorted(c.byBuf[buf], r)
 	c.used += r.len()
 	for c.used > c.capacity {
-		victim := c.lru.Front().Value.(*region)
-		if victim == r && c.lru.Len() == 1 {
+		victim := c.lruFront
+		if len(victim.segs) > 0 {
+			// Restore per-segment granularity so victims are evicted with
+			// the same capacity re-checks as an unmerged tracker.
+			c.explode(victim)
+			continue
+		}
+		if victim == r && c.nregions == 1 {
 			break // cannot evict the region we just inserted entirely
 		}
+		wasDirty, vlen := victim.dirty, victim.len()
 		c.evict(victim)
-		if victim.dirty {
-			writeback += victim.len()
+		if wasDirty {
+			writeback += vlen
 		}
+	}
+	// Fragmentation control: fuse r into its LRU predecessor's range when
+	// adjacent and same-dirty (see the type comment; chained because a
+	// bridging insert can expose another adjacent predecessor).
+	for {
+		q := r.prev
+		if q == nil || q.buf != buf || q.dirty != r.dirty || (q.hi != r.lo && q.lo != r.hi) {
+			break
+		}
+		qn, rn := len(q.segs), len(r.segs)
+		if qn == 0 {
+			qn = 1
+		}
+		if rn == 0 {
+			rn = 1
+		}
+		if qn+rn > maxSegs {
+			break
+		}
+		qs := c.byBuf[buf]
+		qi := sort.Search(len(qs), func(j int) bool { return qs[j].lo >= q.lo })
+		c.byBuf[buf] = append(qs[:qi], qs[qi+1:]...)
+		segs := q.segs
+		if segs == nil {
+			segs = [][2]int64{{q.lo, q.hi}}
+		}
+		if r.segs == nil {
+			segs = append(segs, [2]int64{r.lo, r.hi})
+		} else {
+			segs = append(segs, r.segs...)
+		}
+		if q.hi == r.lo {
+			r.lo = q.lo
+		} else {
+			r.hi = q.hi
+		}
+		r.segs = segs
+		q.segs = nil // ownership moved to r; keep release from recycling it
+		c.lruRemove(q)
+		c.release(q)
 	}
 	return writeback
 }
@@ -118,69 +298,91 @@ func (c *cacheState) invalidate(buf uint64, lo, hi int64) {
 
 // invalidateBuffer drops every cached region of the buffer.
 func (c *cacheState) invalidateBuffer(buf uint64) {
-	regions := c.byBuf[buf]
-	for _, r := range regions {
-		c.lru.Remove(r.elem)
+	for _, r := range c.byBuf[buf] {
+		c.lruRemove(r)
 		c.used -= r.len()
+		c.release(r)
 	}
 	delete(c.byBuf, buf)
 }
 
 // remove deletes [lo, hi) from the tracked regions of buffer b, splitting
 // regions that partially overlap. Split fragments keep the original
-// recency position and dirty bit.
+// recency position and dirty bit. Merged regions overlapping the range are
+// exploded first so fragments land at their exact unmerged recency slots.
 func (c *cacheState) remove(buf uint64, lo, hi int64) {
-	old := c.byBuf[buf]
-	if len(old) == 0 {
-		return
-	}
-	// The split case emits two regions for one consumed, so kept must not
-	// alias old's backing array.
-	kept := make([]*region, 0, len(old)+1)
-	for _, r := range old {
-		switch {
-		case r.hi <= lo || r.lo >= hi: // disjoint
-			kept = append(kept, r)
-		case r.lo >= lo && r.hi <= hi: // fully covered: drop
-			c.lru.Remove(r.elem)
-			c.used -= r.len()
-		case r.lo < lo && r.hi > hi: // covers the hole: split in two
-			c.used -= hi - lo
-			tail := &region{buf: buf, lo: hi, hi: r.hi, dirty: r.dirty}
-			tail.elem = c.lru.InsertAfter(tail, r.elem)
-			r.hi = lo
-			kept = append(kept, r, tail)
-		case r.lo < lo: // overlaps from the left: trim tail
-			c.used -= r.hi - lo
-			r.hi = lo
-			kept = append(kept, r)
-		default: // overlaps from the right: trim head
-			c.used -= hi - r.lo
-			r.lo = hi
-			kept = append(kept, r)
+	for {
+		rs := c.byBuf[buf]
+		exploded := false
+		for i := overlapStart(rs, lo); i < len(rs) && rs[i].lo < hi; i++ {
+			if len(rs[i].segs) > 0 {
+				c.explode(rs[i])
+				exploded = true
+				break // index shifted; rescan
+			}
 		}
-	}
-	if len(kept) == 0 {
-		delete(c.byBuf, buf)
-	} else {
-		c.byBuf[buf] = kept
-	}
-}
-
-// evict removes a whole region from the cache (LRU victim).
-func (c *cacheState) evict(r *region) {
-	c.lru.Remove(r.elem)
-	c.used -= r.len()
-	regions := c.byBuf[r.buf]
-	for i, rr := range regions {
-		if rr == r {
-			c.byBuf[r.buf] = append(regions[:i], regions[i+1:]...)
+		if !exploded {
 			break
 		}
 	}
-	if len(c.byBuf[r.buf]) == 0 {
-		delete(c.byBuf, r.buf)
+	rs := c.byBuf[buf]
+	start := overlapStart(rs, lo)
+	if start == len(rs) || rs[start].lo >= hi {
+		return
 	}
+	if r := rs[start]; r.lo < lo && r.hi > hi {
+		// One region covers the hole entirely: split it in two.
+		c.used -= hi - lo
+		tail := c.alloc(buf, hi, r.hi, r.dirty)
+		c.lruInsertAfter(tail, r)
+		r.hi = lo
+		rs = append(rs, nil)
+		copy(rs[start+2:], rs[start+1:])
+		rs[start+1] = tail
+		c.byBuf[buf] = rs
+		return
+	}
+	i := start
+	if r := rs[i]; r.lo < lo { // overlaps from the left: trim its tail
+		c.used -= r.hi - lo
+		r.hi = lo
+		i++
+	}
+	j := i
+	for j < len(rs) && rs[j].hi <= hi { // fully covered: drop
+		c.lruRemove(rs[j])
+		c.used -= rs[j].len()
+		c.release(rs[j])
+		j++
+	}
+	if j < len(rs) && rs[j].lo < hi { // overlaps from the right: trim its head
+		c.used -= hi - rs[j].lo
+		rs[j].lo = hi
+	}
+	if i != j {
+		rs = append(rs[:i], rs[j:]...)
+	}
+	if len(rs) == 0 {
+		delete(c.byBuf, buf)
+	} else {
+		c.byBuf[buf] = rs
+	}
+}
+
+// evict removes a whole plain region from the cache (LRU victim) and
+// recycles it.
+func (c *cacheState) evict(r *region) {
+	c.lruRemove(r)
+	c.used -= r.len()
+	rs := c.byBuf[r.buf]
+	i := sort.Search(len(rs), func(j int) bool { return rs[j].lo >= r.lo })
+	rs = append(rs[:i], rs[i+1:]...)
+	if len(rs) == 0 {
+		delete(c.byBuf, r.buf)
+	} else {
+		c.byBuf[r.buf] = rs
+	}
+	c.release(r)
 }
 
 // occupancy returns the number of cached bytes (for tests/diagnostics).
@@ -199,6 +401,18 @@ func (c *cacheState) checkInvariants() error {
 			if r.lo < prev {
 				return fmt.Errorf("regions of buf %d out of order or overlapping", buf)
 			}
+			if len(r.segs) > 0 {
+				var segTotal int64
+				for _, s := range r.segs {
+					if s[0] >= s[1] || s[0] < r.lo || s[1] > r.hi {
+						return fmt.Errorf("segment %v outside region [%d,%d) of buf %d", s, r.lo, r.hi, buf)
+					}
+					segTotal += s[1] - s[0]
+				}
+				if segTotal != r.len() {
+					return fmt.Errorf("segments of region [%d,%d) sum to %d, want %d", r.lo, r.hi, segTotal, r.len())
+				}
+			}
 			prev = r.hi
 			total += r.len()
 			count++
@@ -207,24 +421,20 @@ func (c *cacheState) checkInvariants() error {
 	if total != c.used {
 		return fmt.Errorf("used = %d but regions sum to %d", c.used, total)
 	}
-	if count != c.lru.Len() {
-		return fmt.Errorf("region count %d != lru len %d", count, c.lru.Len())
+	lruCount := 0
+	for r := c.lruFront; r != nil; r = r.next {
+		lruCount++
+		if lruCount > count {
+			return fmt.Errorf("lru list longer than region count %d (cycle?)", count)
+		}
+	}
+	if count != lruCount || count != c.nregions {
+		return fmt.Errorf("region count %d != lru len %d (nregions %d)", count, lruCount, c.nregions)
 	}
 	if c.used > c.capacity {
 		return fmt.Errorf("used %d exceeds capacity %d", c.used, c.capacity)
 	}
 	return nil
-}
-
-func insertSorted(regions []*region, r *region) []*region {
-	i := 0
-	for i < len(regions) && regions[i].lo < r.lo {
-		i++
-	}
-	regions = append(regions, nil)
-	copy(regions[i+1:], regions[i:])
-	regions[i] = r
-	return regions
 }
 
 func max64(a, b int64) int64 {

@@ -9,17 +9,27 @@
 // decisions and the same counter values on every run, regardless of the Go
 // scheduler.
 //
+// Control transfers proc-to-proc directly: when a process parks, it pops the
+// next earliest runnable process off the heap and wakes it on that process's
+// resume channel, so a switch costs one channel handoff instead of a round
+// trip through a central scheduler goroutine. The Run caller's goroutine is
+// only involved at the start of a run and when the runnable heap empties
+// (completion, deadlock or a propagated panic). A process that is still the
+// earliest runnable one skips parking entirely and keeps executing with zero
+// channel operations.
+//
 // The engine is the substrate for the MPI-rank runtime in internal/mpi: a
 // rank advances its clock when it performs (modelled) memory operations and
 // blocks on flags/barriers when it synchronizes with other ranks.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // State describes the lifecycle of a Proc.
@@ -60,14 +70,17 @@ type Proc struct {
 	clock float64 // seconds of virtual time
 	state State
 
-	resume chan struct{} // engine -> proc handoff
-	parked chan struct{} // proc -> engine handoff
+	resume chan struct{} // wakes this proc (from another proc or the engine)
 
 	blockReason string
-	heapIndex   int
+	heapIndex   int // position in the runnable heap, -1 when off-heap
 
 	// seq breaks clock ties deterministically (FIFO by last-yield order).
 	seq uint64
+
+	// killed is set by the engine during teardown (panic or deadlock);
+	// a woken proc must unwind instead of resuming its body.
+	killed bool
 }
 
 // ID returns the process id assigned at spawn time (dense, starting at 0).
@@ -101,32 +114,52 @@ func (p *Proc) AdvanceTo(t float64) {
 // Yield gives other processes a chance to run without advancing the clock.
 func (p *Proc) Yield() { p.yield() }
 
-// yield hands control back to the engine loop — unless this proc is still
-// the earliest runnable one, in which case parking would only buy an
-// immediate resume. Skipping the handoff preserves virtual-time order
-// exactly (we only keep running while no runnable proc has an earlier
-// clock) and removes the dominant per-operation cost for compute-heavy
-// stretches.
+// yield relinquishes control — unless this proc is still the earliest
+// runnable one, in which case parking would only buy an immediate resume.
+// Skipping the handoff preserves virtual-time order exactly (we only keep
+// running while no runnable proc has an earlier clock) and removes the
+// dominant per-operation cost for compute-heavy stretches. When another
+// proc has a strictly earlier clock, control transfers to it directly:
+// this proc re-enters the runnable heap and wakes the earliest proc on its
+// resume channel, with no engine-goroutine round trip.
 func (p *Proc) yield() {
 	e := p.engine
-	if e.current == p && (e.runnable.Len() == 0 || p.clock <= e.runnable[0].clock) {
+	if len(e.runnable) == 0 || p.clock <= e.runnable[0].clock {
 		return
 	}
+	// The heap minimum has a strictly earlier clock than p, so swapping p
+	// in for the root (one sift-down instead of a push plus a pop) can
+	// never hand control back to p itself.
 	p.state = Ready
-	p.parked <- struct{}{}
-	<-p.resume
-	p.state = Running
+	e.seqGen++
+	p.seq = e.seqGen
+	next := e.runnable.replaceRoot(p)
+	next.resume <- struct{}{}
+	p.park()
 }
 
 // block parks the proc in the Blocked state; it will not be scheduled until
-// some other proc calls unblock on it.
+// some other proc calls unblock on it. Control transfers directly to the
+// earliest runnable proc, or to the engine loop if nothing is runnable
+// (which then reports the deadlock).
 func (p *Proc) block(reason string) {
 	p.state = Blocked
 	p.blockReason = reason
-	p.parked <- struct{}{}
-	<-p.resume
-	p.state = Running
+	p.engine.switchToNext()
+	p.park()
 	p.blockReason = ""
+}
+
+// park waits until this proc is handed control again, then marks it
+// Running. If the engine tore the run down while we were parked, unwind
+// the goroutine instead (deferred functions still run; the spawn wrapper
+// recognizes the killed state and exits quietly).
+func (p *Proc) park() {
+	<-p.resume
+	if p.killed {
+		runtime.Goexit()
+	}
+	p.state = Running
 }
 
 // unblock marks a blocked proc runnable, raising its clock to at least t.
@@ -150,9 +183,13 @@ type Engine struct {
 	finished int
 	seqGen   uint64
 
-	// current is the proc executing right now (nil while the engine loop
-	// itself runs).
-	current *Proc
+	// park wakes the Run caller when control must return to the engine:
+	// the runnable heap emptied or a proc panicked.
+	park chan struct{}
+
+	// wg tracks spawned proc goroutines so teardown can prove they all
+	// unwound (no leaks after a panic or deadlock).
+	wg sync.WaitGroup
 
 	panicVal interface{}
 	panicned bool
@@ -160,7 +197,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{park: make(chan struct{})}
 }
 
 // Spawn registers a new process with the given body. It must be called
@@ -170,25 +207,37 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		panic("sim: Spawn after Run")
 	}
 	p := &Proc{
-		id:     len(e.procs),
-		name:   name,
-		engine: e,
-		state:  Ready,
-		resume: make(chan struct{}),
-		parked: make(chan struct{}),
+		id:        len(e.procs),
+		name:      name,
+		engine:    e,
+		state:     Ready,
+		resume:    make(chan struct{}),
+		heapIndex: -1,
 	}
 	e.procs = append(e.procs, p)
+	e.wg.Add(1)
 	go func() {
+		defer e.wg.Done()
 		<-p.resume
-		p.state = Running
+		if p.killed {
+			return // engine teardown before this proc ever ran
+		}
 		defer func() {
+			if p.killed {
+				return // teardown unwind (Goexit): the engine owns all state
+			}
 			if r := recover(); r != nil {
 				e.panicVal = r
 				e.panicned = true
+				p.state = Done
+				e.park <- struct{}{} // panics always return to the Run caller
+				return
 			}
 			p.state = Done
-			p.parked <- struct{}{}
+			e.finished++
+			e.switchToNext()
 		}()
+		p.state = Running
 		body(p)
 	}()
 	return p
@@ -197,16 +246,37 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 // Procs returns all spawned processes.
 func (e *Engine) Procs() []*Proc { return e.procs }
 
-// makeRunnable pushes p onto the runnable heap.
+// makeRunnable pushes p onto the runnable heap with a fresh tie-break
+// sequence number. Double-pushing a proc would corrupt the schedule, so an
+// on-heap proc (heapIndex >= 0) is rejected loudly.
 func (e *Engine) makeRunnable(p *Proc) {
+	if p.heapIndex != -1 {
+		panic(fmt.Sprintf("sim: proc %q pushed onto runnable heap twice (index %d)", p.name, p.heapIndex))
+	}
 	e.seqGen++
 	p.seq = e.seqGen
-	heap.Push(&e.runnable, p)
+	e.runnable.push(p)
+}
+
+// switchToNext hands control to the earliest runnable proc, waking it on
+// its resume channel; if nothing is runnable, control returns to the
+// engine loop (run complete, or deadlock for it to diagnose). Called by
+// the parking proc itself — the single channel send IS the context
+// switch, there is no intermediary.
+func (e *Engine) switchToNext() {
+	if len(e.runnable) > 0 {
+		next := e.runnable.pop()
+		next.resume <- struct{}{}
+		return
+	}
+	e.park <- struct{}{}
 }
 
 // Run executes all processes to completion in virtual-time order.
 // It returns an error if the simulation deadlocks (some processes remain
-// blocked with nothing runnable) or if a process panicked.
+// blocked with nothing runnable) or if a process panicked. Either way, no
+// proc goroutine outlives Run: teardown wakes every parked proc with the
+// killed flag and waits for all of them to unwind.
 func (e *Engine) Run() error {
 	if e.started {
 		return fmt.Errorf("sim: engine already ran")
@@ -215,31 +285,40 @@ func (e *Engine) Run() error {
 	for _, p := range e.procs {
 		e.makeRunnable(p)
 	}
-	for e.runnable.Len() > 0 {
-		p := heap.Pop(&e.runnable).(*Proc)
-		e.current = p
-		p.resume <- struct{}{}
-		<-p.parked
-		e.current = nil
-		if e.panicned {
-			pv := e.panicVal
-			e.panicned = false
-			panic(pv) // re-raise proc panics on the caller's goroutine
-		}
-		switch p.state {
-		case Ready:
-			e.makeRunnable(p)
-		case Blocked:
-			// stays off the heap until unblocked
-		case Done:
-			e.finished++
-		}
+	if len(e.procs) > 0 {
+		// Hand control to the earliest proc; it comes back here only when
+		// the runnable heap empties or a proc panics.
+		e.switchToNext()
+		<-e.park
+	}
+	if e.panicned {
+		pv := e.panicVal
+		e.panicned = false
+		e.terminate()
+		panic(pv) // re-raise proc panics on the caller's goroutine
 	}
 	if e.finished != len(e.procs) {
-		return fmt.Errorf("sim: deadlock, %d of %d procs blocked: %s",
+		err := fmt.Errorf("sim: deadlock, %d of %d procs blocked: %s",
 			len(e.procs)-e.finished, len(e.procs), e.blockedSummary())
+		e.terminate()
+		return err
 	}
 	return nil
+}
+
+// terminate wakes every unfinished proc goroutine with the killed flag set
+// so it unwinds (running its deferred functions), then waits until all
+// goroutines have exited. Called after a panic or deadlock so that failed
+// runs do not leak parked goroutines.
+func (e *Engine) terminate() {
+	for _, p := range e.procs {
+		if p.state == Done {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+	}
+	e.wg.Wait()
 }
 
 // blockedSummary lists blocked processes and their reasons for diagnostics.
@@ -266,31 +345,88 @@ func (e *Engine) MaxClock() float64 {
 	return max
 }
 
-// procHeap orders procs by (clock, seq).
+// procHeap is a binary min-heap of procs ordered by (clock, seq). It is a
+// concrete implementation (no container/heap interface dispatch) because
+// push/pop/replaceRoot sit on the per-yield hot path. The (clock, seq) key
+// is a strict total order — seq values are unique — so the pop sequence is
+// fully determined by the heap's contents, never by its internal layout.
 type procHeap []*Proc
 
-func (h procHeap) Len() int { return len(h) }
-func (h procHeap) Less(i, j int) bool {
+func (h procHeap) less(i, j int) bool {
 	if h[i].clock != h[j].clock {
 		return h[i].clock < h[j].clock
 	}
 	return h[i].seq < h[j].seq
 }
-func (h procHeap) Swap(i, j int) {
+
+func (h procHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].heapIndex = i
 	h[j].heapIndex = j
 }
-func (h *procHeap) Push(x interface{}) {
-	p := x.(*Proc)
+
+func (h procHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h procHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		m := left
+		if right := left + 1; right < n && h.less(right, left) {
+			m = right
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// push adds p to the heap.
+func (h *procHeap) push(p *Proc) {
 	p.heapIndex = len(*h)
 	*h = append(*h, p)
+	h.siftUp(p.heapIndex)
 }
-func (h *procHeap) Pop() interface{} {
+
+// pop removes and returns the earliest proc.
+func (h *procHeap) pop() *Proc {
 	old := *h
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	p := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[0].heapIndex = 0
+	old[n] = nil
+	*h = old[:n]
+	h.siftDown(0)
+	p.heapIndex = -1
 	return p
+}
+
+// replaceRoot swaps p in for the current minimum and returns that minimum:
+// one sift-down instead of a push followed by a pop. The single-element
+// case (two procs alternating, the common collective pattern) skips the
+// sift-down call entirely.
+func (h procHeap) replaceRoot(p *Proc) *Proc {
+	old := h[0]
+	h[0] = p
+	p.heapIndex = 0
+	if len(h) > 1 {
+		h.siftDown(0)
+	}
+	old.heapIndex = -1
+	return old
 }

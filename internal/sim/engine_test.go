@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSingleProcAdvance(t *testing.T) {
@@ -362,4 +364,130 @@ func TestMaxClockIsMakespanProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestProcPanicLeavesNoGoroutines(t *testing.T) {
+	// A panicking proc must not strand the other proc goroutines parked on
+	// their resume channels: Run's teardown wakes and unwinds all of them
+	// before re-raising.
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for round := 0; round < 10; round++ {
+		e := NewEngine()
+		f := NewFlag("never")
+		for i := 0; i < 8; i++ {
+			e.Spawn("blocked", func(p *Proc) { p.Wait(f, 1, 0) })
+		}
+		for i := 0; i < 8; i++ {
+			e.Spawn("looping", func(p *Proc) {
+				for j := 0; j < 100; j++ {
+					p.Advance(0.5)
+				}
+			})
+		}
+		e.Spawn("bad", func(p *Proc) {
+			p.Advance(1)
+			panic("boom")
+		})
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic to propagate")
+				}
+			}()
+			_ = e.Run()
+		}()
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestDeadlockLeavesNoGoroutines(t *testing.T) {
+	// Likewise a deadlocked run must unwind its permanently blocked procs.
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for round := 0; round < 10; round++ {
+		e := NewEngine()
+		f := NewFlag("never")
+		for i := 0; i < 8; i++ {
+			e.Spawn("stuck", func(p *Proc) {
+				p.Advance(float64(i))
+				p.Wait(f, 1, 0)
+			})
+		}
+		if err := e.Run(); err == nil {
+			t.Fatal("expected deadlock error")
+		}
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestKilledProcsRunDeferredFunctions(t *testing.T) {
+	// Teardown unwinds proc goroutines via Goexit, so body defers (resource
+	// cleanup in rank code) still execute.
+	var cleanups int32
+	e := NewEngine()
+	f := NewFlag("never")
+	for i := 0; i < 4; i++ {
+		e.Spawn("stuck", func(p *Proc) {
+			defer atomic.AddInt32(&cleanups, 1)
+			p.Wait(f, 1, 0)
+		})
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for atomic.LoadInt32(&cleanups) != 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := atomic.LoadInt32(&cleanups); got != 4 {
+		t.Fatalf("%d of 4 deferred cleanups ran on teardown", got)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count returns to the baseline
+// (teardown waits for proc goroutines, but the final runtime exit of a
+// goroutine is asynchronous to the WaitGroup).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), baseline)
+}
+
+func TestHeapIndexResetOnPop(t *testing.T) {
+	// Popped procs must not keep a stale heap index: makeRunnable relies on
+	// heapIndex == -1 to reject double-pushes.
+	e := NewEngine()
+	ps := make([]*Proc, 5)
+	for i := range ps {
+		ps[i] = &Proc{id: i, name: "p", engine: e, heapIndex: -1, clock: float64(5 - i)}
+	}
+	for _, p := range ps {
+		e.makeRunnable(p)
+	}
+	for i := 0; i < len(ps); i++ {
+		p := e.runnable.pop()
+		if p.heapIndex != -1 {
+			t.Fatalf("popped proc %q has stale heapIndex %d, want -1", p.name, p.heapIndex)
+		}
+	}
+}
+
+func TestDoublePushPanics(t *testing.T) {
+	e := NewEngine()
+	p := &Proc{name: "p", engine: e, heapIndex: -1}
+	e.makeRunnable(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double push")
+		}
+	}()
+	e.makeRunnable(p)
 }

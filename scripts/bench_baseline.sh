@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates BENCH_sim.json: simulator self-performance baseline
+# (engine control-transfer and residency-tracker micro-benchmarks plus
+# the wall-clock time of the fig11a quick sweep). Pass -skip-fig to
+# skip the sweep. Progress goes to stderr; the JSON is written atomically.
+set -e
+cd "$(dirname "$0")/.."
+go run ./cmd/simbench "$@" > BENCH_sim.json.tmp
+mv BENCH_sim.json.tmp BENCH_sim.json
+echo "wrote BENCH_sim.json" >&2

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-baseline
+.PHONY: build test test-race race vet bench bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./...
+# The bench package's determinism sweeps run ~10x slower under the race
+# detector on a small host, so give the suite room beyond the 10m default.
+test-race:
+	$(GO) test -race -timeout 45m ./...
+
+# Backwards-compatible alias for test-race.
+race: test-race
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +26,8 @@ bench:
 # Regenerate BENCH_sim.json (micro-benchmarks + fig11a quick wall-clock).
 bench-baseline:
 	./scripts/bench_baseline.sh
+
+# Re-run the micro-benchmarks and diff against the checked-in baseline;
+# fails when any benchmark is >15% slower than BENCH_sim.json records.
+bench-compare:
+	$(GO) run ./cmd/simbench -skip-fig -compare BENCH_sim.json > /dev/null

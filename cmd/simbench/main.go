@@ -7,6 +7,8 @@
 //
 //	go run ./cmd/simbench            # full run, JSON on stdout
 //	go run ./cmd/simbench -skip-fig  # micro-benchmarks only
+//	go run ./cmd/simbench -skip-fig -compare BENCH_sim.json
+//	                                 # re-run and fail on >15% regression
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
 	"time"
 
@@ -26,10 +30,10 @@ import (
 )
 
 type result struct {
-	NsPerOp    float64 `json:"ns_per_op"`
-	OpsPerSec  float64 `json:"ops_per_sec"`
-	BytesPerOp int64   `json:"bytes_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 type report struct {
@@ -207,8 +211,51 @@ func residencyLookup(b *testing.B) {
 }
 
 func main() {
-	skipFig := flag.Bool("skip-fig", false, "skip the fig11a quick wall-clock run")
+	os.Exit(realMain())
+}
+
+// realMain carries main's body so deferred profile writers run before the
+// process exits with a failure code.
+func realMain() int {
+	var (
+		skipFig   = flag.Bool("skip-fig", false, "skip the fig11a quick wall-clock run")
+		compare   = flag.String("compare", "", "baseline JSON to diff against; exit non-zero on regression")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression for -compare")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+	}()
 
 	rep := report{
 		GoVersion:  runtime.Version(),
@@ -230,7 +277,7 @@ func main() {
 		start := time.Now()
 		if _, err := bench.Run("fig11a", true); err != nil {
 			fmt.Fprintf(os.Stderr, "fig11a: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		rep.Fig11aQuickSeconds = time.Since(start).Seconds()
 		fmt.Fprintf(os.Stderr, "fig11a quick: %.1f s\n", rep.Fig11aQuickSeconds)
@@ -239,7 +286,62 @@ func main() {
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println(string(out))
+
+	if *compare != "" {
+		if err := compareBaseline(*compare, *tolerance, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "simbench: within %.0f%% of %s\n", *tolerance*100, *compare)
+	}
+	return 0
+}
+
+// compareBaseline diffs the fresh measurements against a checked-in
+// baseline JSON and reports an error when any shared micro-benchmark (or
+// the fig11a wall clock, when both runs measured it) regressed by more than
+// the tolerance fraction. Benchmarks present on only one side are reported
+// but do not fail the comparison, so the baseline file and the benchmark
+// set can evolve independently.
+func compareBaseline(path string, tolerance float64, fresh report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var regressions []string
+	for name, b := range base.Benchmarks {
+		f, ok := fresh.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "compare: %s only in baseline, skipped\n", name)
+			continue
+		}
+		ratio := f.NsPerOp/b.NsPerOp - 1
+		fmt.Fprintf(os.Stderr, "compare: %-24s %10.1f -> %10.1f ns/op (%+.1f%%)\n",
+			name, b.NsPerOp, f.NsPerOp, ratio*100)
+		if ratio > tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %.1f%% slower", name, ratio*100))
+		}
+	}
+	if base.Fig11aQuickSeconds > 0 && fresh.Fig11aQuickSeconds > 0 {
+		ratio := fresh.Fig11aQuickSeconds/base.Fig11aQuickSeconds - 1
+		fmt.Fprintf(os.Stderr, "compare: %-24s %10.1f -> %10.1f s      (%+.1f%%)\n",
+			"fig11a_quick", base.Fig11aQuickSeconds, fresh.Fig11aQuickSeconds, ratio*100)
+		if ratio > tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("fig11a_quick %.1f%% slower", ratio*100))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("regression beyond %.0f%%: %s",
+			tolerance*100, strings.Join(regressions, "; "))
+	}
+	return nil
 }

@@ -7,22 +7,29 @@
 //	yhcclbench -exp fig9a            # regenerate one experiment
 //	yhcclbench -exp all              # regenerate everything (slow)
 //	yhcclbench -exp fig11a -quick    # 3-point sweep instead of 13
+//	yhcclbench -exp all -csv out/    # also write out/<id>.csv per experiment
+//	yhcclbench -exp fig9a -cpuprofile cpu.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"yhccl/internal/bench"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		quick = flag.Bool("quick", false, "trimmed sweeps for smoke runs")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		quick   = flag.Bool("quick", false, "trimmed sweeps for smoke runs")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir  = flag.String("csv", "", "directory to write one <id>.csv per experiment (created if missing)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -39,6 +46,25 @@ func main() {
 		return
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("csv: %v", err)
+		}
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = bench.IDs()
@@ -46,13 +72,45 @@ func main() {
 	for _, id := range ids {
 		fig, err := bench.Run(id, *quick)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "yhcclbench: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
-		if *csv {
-			fig.FprintCSV(os.Stdout)
-		} else {
-			fig.Fprint(os.Stdout)
+		fig.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, fig); err != nil {
+				fatalf("csv: %v", err)
+			}
 		}
 	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		f.Close()
+	}
+}
+
+// writeCSV renders one experiment's figure to <dir>/<id>.csv.
+func writeCSV(dir, id string, fig *bench.Figure) error {
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fig.FprintCSV(f)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "yhcclbench: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -252,10 +252,29 @@ func smallMsgSizes(quick bool) []int64 {
 }
 
 // steadyState runs body twice on the machine (warm-up + measured) and
-// returns the measured makespan. The body must use persistent buffers so
-// the second run sees warm state, mirroring the OSU iteration loop.
+// returns the measured makespan, mirroring the OSU iteration loop: the
+// first run's makespan is discarded, it exists only to populate the
+// residency trackers; the second run then starts from the steady-state
+// cache contents an application's iteration loop would see.
+//
+// The contract this depends on: the body must allocate through
+// PersistentBuffer (or otherwise reuse buffers), so the regions the warm-up
+// run left resident are the same regions the measured run touches. A body
+// that allocates fresh buffers per run would silently measure a cold run —
+// the warm-up's residency would belong to orphaned buffer IDs. That
+// mistake is cheap to detect: a correct body leaves data resident when the
+// warm-up finishes, so an empty tracker means the contract is broken.
 func steadyState(m *mpi.Machine, body func(r *mpi.Rank)) float64 {
 	m.MustRun(body)
+	warmed := int64(0)
+	for s := 0; s < m.Node.Sockets; s++ {
+		warmed += m.Model.CacheOccupancy(s)
+	}
+	if warmed == 0 {
+		panic("bench: steadyState warm-up run left no cache residency; " +
+			"the body must reuse buffers (PersistentBuffer) so the measured " +
+			"run starts warm")
+	}
 	return m.MustRun(body)
 }
 

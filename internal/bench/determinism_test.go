@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"yhccl/internal/apps/miniamr"
+	"yhccl/internal/cluster"
 	"yhccl/internal/coll"
 	"yhccl/internal/memmodel"
 	"yhccl/internal/mpi"
@@ -79,6 +81,26 @@ func goldenFingerprint(t testing.TB) string {
 			r.Warm(sb, 0, n)
 			coll.AllgatherRing(r, r.World(), sb, rb, n, mpi.Sum, o)
 		}},
+		// p2p pins the shared-memory transport itself (Send/Recv staging
+		// loops plus the fused receive+reduce), the charge-generating path
+		// under every send/recv-based baseline.
+		{"p2p-sendrecv", 2 << 20, func(r *mpi.Rank, n int64) {
+			sb := r.PersistentBuffer("g/sb", n)
+			rb := r.PersistentBuffer("g/rb", n)
+			r.Warm(sb, 0, n)
+			c := r.World()
+			me := c.CommRank(r.ID())
+			peer := me ^ 1
+			if me%2 == 0 {
+				r.Send(c, peer, sb, 0, n)
+				r.Recv(c, peer, rb, 0, n, memmodel.Temporal)
+				r.Send(c, peer, sb, 0, n)
+			} else {
+				r.Recv(c, peer, rb, 0, n, memmodel.Temporal)
+				r.Send(c, peer, sb, 0, n)
+				r.RecvReduce(c, peer, rb, 0, n, mpi.Sum)
+			}
+		}},
 	}
 	var sb strings.Builder
 	for _, tc := range cases {
@@ -90,6 +112,35 @@ func goldenFingerprint(t testing.TB) string {
 		fmt.Fprintf(&sb, "%s cold=%x warm=%x dav=%d copy=%d dram=%d rfo=%d wb=%d nt=%d xs=%d sync=%d\n",
 			tc.name, cold, warm, c.DAV(), c.CopyVolume, c.DRAMTraffic,
 			c.RFOBytes, c.WritebackBytes, c.NTStoreBytes, c.CrossSocketBytes, c.SyncCount)
+	}
+	// Hierarchical multi-node all-reduce: internal/cluster composes the
+	// intra-node socket-MA phases with the analytic inter-node ring, all on
+	// one persistent representative machine.
+	{
+		cl := cluster.New(node, 4, p, cluster.IB100())
+		n := int64(2<<20) / memmodel.ElemSize
+		cold := cl.MustAllreduceTime(cluster.YHCCLHierarchical, n)
+		warm := cl.MustAllreduceTime(cluster.YHCCLHierarchical, n)
+		c := cl.Machine().Model.Counters()
+		fmt.Fprintf(&sb, "cluster-yhccl cold=%x warm=%x dav=%d copy=%d dram=%d rfo=%d wb=%d nt=%d xs=%d sync=%d\n",
+			cold, warm, c.DAV(), c.CopyVolume, c.DRAMTraffic,
+			c.RFOBytes, c.WritebackBytes, c.NTStoreBytes, c.CrossSocketBytes, c.SyncCount)
+	}
+	// One MiniAMR step: the application driver layers a real (data-carrying)
+	// validation machine on top of the timing model, so both the modelled
+	// times and the stencil checksum are pinned bit-for-bit.
+	{
+		cfg := miniamr.DefaultConfig(2)
+		cfg.PerNode = p
+		cfg.Timesteps = 1
+		cfg.RefineCount = 2048
+		cfg.GridDim = 8
+		res, err := miniamr.Run(cfg, cluster.YHCCLHierarchical)
+		if err != nil {
+			t.Fatalf("miniamr golden step: %v", err)
+		}
+		fmt.Fprintf(&sb, "miniamr-step total=%x comm=%x checksum=%x\n",
+			res.TotalTime, res.CommTime, res.Checksum)
 	}
 	return sb.String()
 }

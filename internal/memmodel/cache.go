@@ -1,14 +1,11 @@
 package memmodel
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // cacheState tracks, for one socket, which byte ranges of which buffers are
 // currently cache-resident. Tracking is region-granular rather than
 // line-granular: collectives access memory in contiguous slice-sized ranges,
-// so a handful of intervals per buffer suffices and the tracker stays O(1)
+// so a handful of intervals per buffer suffice and the tracker stays O(1)
 // per operation in practice. internal/cachesim provides a line-granular
 // simulator used to validate this approximation.
 //
@@ -17,8 +14,9 @@ import (
 // trims the old regions; inserting beyond capacity evicts from the LRU end,
 // reporting how many dirty bytes were written back so the caller can charge
 // DRAM traffic. Evicted and trimmed-away region objects are recycled
-// through a free list, and per-buffer indexes are sorted by lo and searched
-// with binary search.
+// through a free list, and per-buffer indexes are sorted by lo and located
+// through a sequential-access cursor (see seek) with binary search as the
+// fallback.
 //
 // Fragmentation control: a freshly inserted region merges with the region
 // used immediately before it (its LRU predecessor) when the two are
@@ -28,9 +26,14 @@ import (
 // constituent segments in recency order, and any operation that could
 // observe granularity (LRU eviction, partial removal) first explodes the
 // region back into exactly the plain regions an unmerged tracker would
-// hold. Simulated times, traffic counters and residency decisions are
-// therefore bit-identical with and without merging (golden-determinism
-// tests in internal/bench enforce this).
+// hold. The tracker's observable behavior is therefore a function of the
+// *logical* state alone — the sequence of plain (per-segment) regions in
+// recency order — and simulated times, traffic counters and residency
+// decisions are bit-identical with and without merging (golden-determinism
+// tests in internal/bench enforce this). The fast paths in insert exploit
+// the same property in reverse: an operation whose logical effect is the
+// identity (re-touching the most recently used range) may skip the
+// explode/re-merge churn entirely.
 type cacheState struct {
 	socket   int
 	capacity int64
@@ -45,7 +48,30 @@ type cacheState struct {
 	// free chains recycled region objects through their next pointers.
 	free *region
 
-	byBuf map[uint64][]*region // per-buffer, sorted by lo
+	// byBuf[id] is the lo-sorted region index of buffer id. Buffer IDs are
+	// dense per Model, so a flat slice replaces a map on the hot path.
+	byBuf [][]*region
+
+	// curs[slot][id] is buffer id's sequential-access cursor for cursor
+	// bank `slot`: the last index a lookup, insert or remove through that
+	// bank touched in byBuf[id]. Collectives stream address-adjacent
+	// chunks, so a stream's next position is almost always cur or cur+1;
+	// banks exist because several ranks interleave their streams through
+	// distinct slices of one shared buffer, which would thrash a single
+	// shared cursor. The Model selects the acting rank's bank via curSlot
+	// (its per-socket core index); code that never sets it uses bank 0.
+	// seek validates the cursor in O(1) and falls back to binary search
+	// only on a miss. Cursors are advisory — a stale value is detected,
+	// never trusted — so no operation needs to keep them precise.
+	curs    [][]int32
+	curSlot int
+
+	// evictBuf/evictIdx remember where the last eviction spliced its
+	// buffer index: LRU order visits a streaming buffer's regions in
+	// address order, so after splicing index i the next victim of that
+	// buffer sits at index i again. Advisory, validated exactly.
+	evictBuf uint64
+	evictIdx int32
 }
 
 // region is a cached byte range [lo, hi) of one buffer.
@@ -75,11 +101,57 @@ func newCacheState(socket int, capacity int64) *cacheState {
 	if capacity <= 0 {
 		panic("memmodel: cache capacity must be positive")
 	}
-	return &cacheState{
-		socket:   socket,
-		capacity: capacity,
-		byBuf:    make(map[uint64][]*region),
+	return &cacheState{socket: socket, capacity: capacity}
+}
+
+// regs returns the sorted region index of a buffer (nil when empty).
+func (c *cacheState) regs(buf uint64) []*region {
+	if buf < uint64(len(c.byBuf)) {
+		return c.byBuf[buf]
 	}
+	return nil
+}
+
+// setRegs stores the region index of a buffer, growing the table on first
+// contact with a new buffer ID.
+func (c *cacheState) setRegs(buf uint64, rs []*region) {
+	if buf >= uint64(len(c.byBuf)) {
+		grown := make([][]*region, buf+1)
+		copy(grown, c.byBuf)
+		c.byBuf = grown
+	}
+	c.byBuf[buf] = rs
+}
+
+// cur returns the active bank's cursor for a buffer (0 — a valid advisory
+// guess — when the bank or entry does not exist yet).
+func (c *cacheState) cur(buf uint64) int {
+	if c.curSlot < len(c.curs) {
+		if cs := c.curs[c.curSlot]; buf < uint64(len(cs)) {
+			return int(cs[buf])
+		}
+	}
+	return 0
+}
+
+// setCur records the cursor position of a buffer in the active bank,
+// growing the bank on demand (no-op for buffers byBuf has never seen —
+// there is nothing to seek in an empty index anyway).
+func (c *cacheState) setCur(buf uint64, i int) {
+	if buf >= uint64(len(c.byBuf)) {
+		return
+	}
+	for len(c.curs) <= c.curSlot {
+		c.curs = append(c.curs, nil)
+	}
+	cs := c.curs[c.curSlot]
+	if buf >= uint64(len(cs)) {
+		grown := make([]int32, len(c.byBuf))
+		copy(grown, cs)
+		c.curs[c.curSlot] = grown
+		cs = grown
+	}
+	cs[buf] = int32(i)
 }
 
 // alloc returns a region initialized to the given range, recycling a freed
@@ -142,73 +214,168 @@ func (c *cacheState) lruRemove(r *region) {
 	c.nregions--
 }
 
-// insertSorted splices r into the lo-sorted per-buffer index.
-func insertSorted(rs []*region, r *region) []*region {
-	i := sort.Search(len(rs), func(j int) bool { return rs[j].lo >= r.lo })
-	rs = append(rs, nil)
-	copy(rs[i+1:], rs[i:])
-	rs[i] = r
-	return rs
-}
-
 // overlapStart returns the index of the first region of rs that may overlap
 // [lo, ...): regions are disjoint and sorted by lo, so their hi values are
-// sorted too and binary search applies.
+// sorted too and binary search applies. Open-coded (rather than
+// sort.Search) to avoid a closure call per probe on the hot path.
 func overlapStart(rs []*region, lo int64) int {
-	return sort.Search(len(rs), func(i int) bool { return rs[i].hi > lo })
+	i, j := 0, len(rs)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if rs[h].hi > lo {
+			j = h
+		} else {
+			i = h + 1
+		}
+	}
+	return i
 }
 
-// explode dissolves a merged region back into one plain region per
-// recorded segment, at the same LRU position and in segment (recency)
-// order — exactly the regions an unmerged tracker would hold. Returns the
-// region of the newest segment. No-op on plain regions.
-func (c *cacheState) explode(r *region) *region {
+// searchLo returns the index of the first region of rs with lo >= key.
+func searchLo(rs []*region, key int64) int {
+	i, j := 0, len(rs)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if rs[h].lo >= key {
+			j = h
+		} else {
+			i = h + 1
+		}
+	}
+	return i
+}
+
+// seek returns overlapStart(rs, lo), trusting the buffer's cursor when it
+// (or its successor — the sequential-streaming step) still identifies the
+// answer. The validation re-derives the overlapStart condition exactly, so
+// a stale cursor can only cost the binary-search fallback, never a wrong
+// index.
+// seekWindow bounds how far seek walks linearly from the cursor before
+// giving up and binary-searching: evictions and removals shift a buffer's
+// indexes by a few slots between one stream's operations, so the answer is
+// usually within a short distance of the stale cursor.
+const seekWindow = 8
+
+func (c *cacheState) seek(buf uint64, rs []*region, lo int64) int {
+	i := c.cur(buf)
+	if i >= len(rs) {
+		i = len(rs) - 1
+	}
+	if i >= 0 {
+		if rs[i].hi > lo {
+			// First candidate: walk left to the earliest region with hi > lo.
+			for k := 0; k < seekWindow; k++ {
+				if i == 0 || rs[i-1].hi <= lo {
+					return i
+				}
+				i--
+			}
+		} else {
+			// Walk right to the first region with hi > lo.
+			for k := 0; k < seekWindow; k++ {
+				i++
+				if i == len(rs) || rs[i].hi > lo {
+					return i
+				}
+			}
+		}
+	}
+	return overlapStart(rs, lo)
+}
+
+// explodeAt dissolves the merged region r, located at index ri of its
+// buffer's sorted slice, back into one plain region per recorded segment,
+// at the same LRU position and in segment (recency) order — exactly the
+// regions an unmerged tracker would hold. Returns the region of the newest
+// segment. No-op on plain regions.
+func (c *cacheState) explodeAt(r *region, ri int) *region {
 	if len(r.segs) == 0 {
 		return r
 	}
 	segs := r.segs
 	r.segs = nil
-	rs := c.byBuf[r.buf]
-	i := sort.Search(len(rs), func(j int) bool { return rs[j].lo >= r.lo })
-	rs = append(rs[:i], rs[i+1:]...)
+	rs := c.regs(r.buf)
+	// Widen r's slot into a window of len(segs) slots with one splice.
+	k := len(segs)
+	rs = append(rs, make([]*region, k-1)...)
+	copy(rs[ri+k:], rs[ri+1:])
+	window := rs[ri : ri+k]
 	// The oldest segment reuses r itself, keeping its LRU links; younger
 	// segments are threaded in immediately after it, oldest to newest.
+	// Slice placement is by address: segments of a streaming merge arrive
+	// already lo-sorted, so the insertion step below is O(1) per segment
+	// in the common case.
 	r.lo, r.hi = segs[0][0], segs[0][1]
-	rs = insertSorted(rs, r)
+	window[0] = r
 	last := r
-	for _, s := range segs[1:] {
-		nr := c.alloc(r.buf, s[0], s[1], r.dirty)
+	for j := 1; j < k; j++ {
+		nr := c.alloc(r.buf, segs[j][0], segs[j][1], r.dirty)
 		c.lruInsertAfter(nr, last)
-		rs = insertSorted(rs, nr)
 		last = nr
+		pos := j
+		for pos > 0 && window[pos-1].lo > nr.lo {
+			window[pos] = window[pos-1]
+			pos--
+		}
+		window[pos] = nr
 	}
-	c.byBuf[r.buf] = rs
+	c.setRegs(r.buf, rs)
 	return last
+}
+
+// explode is explodeAt for callers that do not know r's slice index.
+func (c *cacheState) explode(r *region) *region {
+	if len(r.segs) == 0 {
+		return r
+	}
+	rs := c.regs(r.buf)
+	ri := searchLo(rs, r.lo)
+	return c.explodeAt(r, ri)
 }
 
 // lookup returns how many bytes of [lo, hi) of buffer b are cached.
 func (c *cacheState) lookup(buf uint64, lo, hi int64) int64 {
-	rs := c.byBuf[buf]
+	rs := c.regs(buf)
+	i := c.seek(buf, rs, lo)
 	var cached int64
-	for i := overlapStart(rs, lo); i < len(rs) && rs[i].lo < hi; i++ {
-		a, b := max64(rs[i].lo, lo), min64(rs[i].hi, hi)
+	for j := i; j < len(rs) && rs[j].lo < hi; j++ {
+		a, b := max64(rs[j].lo, lo), min64(rs[j].hi, hi)
 		cached += b - a
 	}
+	c.setCur(buf, i)
 	return cached
 }
 
 // lookupDirty returns how many bytes of [lo, hi) are cached dirty.
 func (c *cacheState) lookupDirty(buf uint64, lo, hi int64) int64 {
-	rs := c.byBuf[buf]
+	rs := c.regs(buf)
+	i := c.seek(buf, rs, lo)
 	var dirty int64
-	for i := overlapStart(rs, lo); i < len(rs) && rs[i].lo < hi; i++ {
-		if !rs[i].dirty {
+	for j := i; j < len(rs) && rs[j].lo < hi; j++ {
+		if !rs[j].dirty {
 			continue
 		}
-		a, b := max64(rs[i].lo, lo), min64(rs[i].hi, hi)
+		a, b := max64(rs[j].lo, lo), min64(rs[j].hi, hi)
 		dirty += b - a
 	}
+	c.setCur(buf, i)
 	return dirty
+}
+
+// lookupBoth returns lookup and lookupDirty of [lo, hi) in a single pass —
+// the fused per-chunk query of Model.Load.
+func (c *cacheState) lookupBoth(buf uint64, lo, hi int64) (cached, dirty int64) {
+	rs := c.regs(buf)
+	i := c.seek(buf, rs, lo)
+	for j := i; j < len(rs) && rs[j].lo < hi; j++ {
+		a, b := max64(rs[j].lo, lo), min64(rs[j].hi, hi)
+		cached += b - a
+		if rs[j].dirty {
+			dirty += b - a
+		}
+	}
+	c.setCur(buf, i)
+	return cached, dirty
 }
 
 // insert makes [lo, hi) of buffer b cache-resident with the given dirty
@@ -225,31 +392,85 @@ func (c *cacheState) insert(buf uint64, lo, hi int64, dirty bool) (writeback int
 	if hi-lo > c.capacity {
 		lo = hi - c.capacity
 	}
-	c.remove(buf, lo, hi)
+	// Fast paths: a re-touch of an exactly-tracked range with unchanged
+	// dirty state. Both shortcuts reproduce the slow path's *logical*
+	// effect (remove the range's regions, re-insert one plain region at
+	// the MRU position) without the explode / slice-splice / re-merge
+	// churn, which is what makes streaming chunk loops O(1).
+	rs := c.regs(buf)
+	if i := c.seek(buf, rs, lo); i < len(rs) {
+		if r := rs[i]; r.dirty == dirty {
+			if r.lo == lo && r.hi == hi {
+				// The whole region is re-touched: logically its
+				// constituent segments are all removed and replaced by one
+				// plain MRU region covering the same range.
+				r.segs = nil
+				if c.lruBack != r {
+					c.lruRemove(r)
+					c.lruPushBack(r)
+				}
+				c.setCur(buf, i)
+				c.mergeChain(buf, r, i)
+				return 0
+			}
+			if r == c.lruBack && len(r.segs) > 0 && r.lo <= lo && hi <= r.hi {
+				if s := r.segs[len(r.segs)-1]; s[0] == lo && s[1] == hi {
+					// Re-touch of the newest segment of the MRU region:
+					// logically that segment is removed and re-inserted at
+					// the MRU position it already occupies — the identity.
+					c.setCur(buf, i)
+					return 0
+				}
+			}
+		}
+	}
+	ri := c.remove(buf, lo, hi)
 	r := c.alloc(buf, lo, hi, dirty)
 	c.lruPushBack(r)
-	c.byBuf[buf] = insertSorted(c.byBuf[buf], r)
+	rs = c.regs(buf)
+	rs = append(rs, nil)
+	copy(rs[ri+1:], rs[ri:])
+	rs[ri] = r
+	c.setRegs(buf, rs)
 	c.used += r.len()
+	shifted := false
 	for c.used > c.capacity {
 		victim := c.lruFront
 		if len(victim.segs) > 0 {
 			// Restore per-segment granularity so victims are evicted with
 			// the same capacity re-checks as an unmerged tracker.
 			c.explode(victim)
+			if victim.buf == buf {
+				shifted = true
+			}
 			continue
 		}
 		if victim == r && c.nregions == 1 {
 			break // cannot evict the region we just inserted entirely
 		}
 		wasDirty, vlen := victim.dirty, victim.len()
+		if victim.buf == buf {
+			shifted = true
+		}
 		c.evict(victim)
 		if wasDirty {
 			writeback += vlen
 		}
 	}
-	// Fragmentation control: fuse r into its LRU predecessor's range when
-	// adjacent and same-dirty (see the type comment; chained because a
-	// bridging insert can expose another adjacent predecessor).
+	if shifted {
+		// Evictions (or victim explodes) in this buffer moved r's index.
+		rs = c.regs(buf)
+		ri = searchLo(rs, r.lo)
+	}
+	c.mergeChain(buf, r, ri)
+	return writeback
+}
+
+// mergeChain fuses r (at index ri of its buffer's sorted slice) into its
+// LRU predecessor while that predecessor is an address-adjacent region of
+// the same buffer with the same dirty state (see the type comment; chained
+// because a bridging insert can expose another adjacent predecessor).
+func (c *cacheState) mergeChain(buf uint64, r *region, ri int) {
 	for {
 		q := r.prev
 		if q == nil || q.buf != buf || q.dirty != r.dirty || (q.hi != r.lo && q.lo != r.hi) {
@@ -265,9 +486,16 @@ func (c *cacheState) insert(buf uint64, lo, hi int64, dirty bool) (writeback int
 		if qn+rn > maxSegs {
 			break
 		}
-		qs := c.byBuf[buf]
-		qi := sort.Search(len(qs), func(j int) bool { return qs[j].lo >= q.lo })
-		c.byBuf[buf] = append(qs[:qi], qs[qi+1:]...)
+		rs := c.regs(buf)
+		// Regions are disjoint and sorted, so an address-adjacent q is r's
+		// immediate slice neighbor; keep a search fallback for safety.
+		qi := ri - 1
+		if q.lo == r.hi {
+			qi = ri + 1
+		}
+		if qi < 0 || qi >= len(rs) || rs[qi] != q {
+			qi = searchLo(rs, q.lo)
+		}
 		segs := q.segs
 		if segs == nil {
 			segs = [][2]int64{{q.lo, q.hi}}
@@ -284,10 +512,14 @@ func (c *cacheState) insert(buf uint64, lo, hi int64, dirty bool) (writeback int
 		}
 		r.segs = segs
 		q.segs = nil // ownership moved to r; keep release from recycling it
+		c.setRegs(buf, append(rs[:qi], rs[qi+1:]...))
+		if qi < ri {
+			ri--
+		}
 		c.lruRemove(q)
 		c.release(q)
 	}
-	return writeback
+	c.setCur(buf, ri)
 }
 
 // invalidate drops [lo, hi) of buffer b from the cache without write-back
@@ -298,37 +530,37 @@ func (c *cacheState) invalidate(buf uint64, lo, hi int64) {
 
 // invalidateBuffer drops every cached region of the buffer.
 func (c *cacheState) invalidateBuffer(buf uint64) {
-	for _, r := range c.byBuf[buf] {
+	for _, r := range c.regs(buf) {
 		c.lruRemove(r)
 		c.used -= r.len()
 		c.release(r)
 	}
-	delete(c.byBuf, buf)
+	c.setRegs(buf, nil)
 }
 
 // remove deletes [lo, hi) from the tracked regions of buffer b, splitting
 // regions that partially overlap. Split fragments keep the original
 // recency position and dirty bit. Merged regions overlapping the range are
 // exploded first so fragments land at their exact unmerged recency slots.
-func (c *cacheState) remove(buf uint64, lo, hi int64) {
-	for {
-		rs := c.byBuf[buf]
-		exploded := false
-		for i := overlapStart(rs, lo); i < len(rs) && rs[i].lo < hi; i++ {
-			if len(rs[i].segs) > 0 {
-				c.explode(rs[i])
-				exploded = true
-				break // index shifted; rescan
-			}
-		}
-		if !exploded {
-			break
+// It returns the index at which a region starting at lo now belongs (the
+// insertion point insert uses).
+func (c *cacheState) remove(buf uint64, lo, hi int64) int {
+	rs := c.regs(buf)
+	start := c.seek(buf, rs, lo)
+	for i := start; i < len(rs) && rs[i].lo < hi; i++ {
+		if len(rs[i].segs) > 0 {
+			c.explodeAt(rs[i], i)
+			rs = c.regs(buf)
 		}
 	}
-	rs := c.byBuf[buf]
-	start := overlapStart(rs, lo)
+	// Explosions may have dropped finer-grained regions in front of the
+	// old start whose hi no longer clears lo; step past them.
+	for start < len(rs) && rs[start].hi <= lo {
+		start++
+	}
+	c.setCur(buf, start)
 	if start == len(rs) || rs[start].lo >= hi {
-		return
+		return start
 	}
 	if r := rs[start]; r.lo < lo && r.hi > hi {
 		// One region covers the hole entirely: split it in two.
@@ -339,8 +571,8 @@ func (c *cacheState) remove(buf uint64, lo, hi int64) {
 		rs = append(rs, nil)
 		copy(rs[start+2:], rs[start+1:])
 		rs[start+1] = tail
-		c.byBuf[buf] = rs
-		return
+		c.setRegs(buf, rs)
+		return start + 1
 	}
 	i := start
 	if r := rs[i]; r.lo < lo { // overlaps from the left: trim its tail
@@ -360,13 +592,16 @@ func (c *cacheState) remove(buf uint64, lo, hi int64) {
 		rs[j].lo = hi
 	}
 	if i != j {
-		rs = append(rs[:i], rs[j:]...)
+		if i == 0 {
+			// Head drop: advance the slice start instead of memmoving the
+			// tail down — streaming eviction/removal always trims here.
+			rs = rs[j:]
+		} else {
+			rs = append(rs[:i], rs[j:]...)
+		}
+		c.setRegs(buf, rs)
 	}
-	if len(rs) == 0 {
-		delete(c.byBuf, buf)
-	} else {
-		c.byBuf[buf] = rs
-	}
+	return i
 }
 
 // evict removes a whole plain region from the cache (LRU victim) and
@@ -374,14 +609,30 @@ func (c *cacheState) remove(buf uint64, lo, hi int64) {
 func (c *cacheState) evict(r *region) {
 	c.lruRemove(r)
 	c.used -= r.len()
-	rs := c.byBuf[r.buf]
-	i := sort.Search(len(rs), func(j int) bool { return rs[j].lo >= r.lo })
-	rs = append(rs[:i], rs[i+1:]...)
-	if len(rs) == 0 {
-		delete(c.byBuf, r.buf)
-	} else {
-		c.byBuf[r.buf] = rs
+	rs := c.regs(r.buf)
+	// A streaming buffer's LRU order visits its regions in address order,
+	// so after the previous eviction spliced index i, this victim usually
+	// sits at index i of the same buffer again; validate before trusting.
+	i := -1
+	if r.buf == c.evictBuf {
+		if j := int(c.evictIdx); j < len(rs) && rs[j] == r {
+			i = j
+		}
 	}
+	if i < 0 {
+		if rs[0] == r {
+			i = 0
+		} else {
+			i = searchLo(rs, r.lo)
+		}
+	}
+	if i == 0 {
+		// Head drop (see remove): no memmove for in-address-order victims.
+		c.setRegs(r.buf, rs[1:])
+	} else {
+		c.setRegs(r.buf, append(rs[:i], rs[i+1:]...))
+	}
+	c.evictBuf, c.evictIdx = r.buf, int32(i)
 	c.release(r)
 }
 
@@ -395,6 +646,9 @@ func (c *cacheState) checkInvariants() error {
 	for buf, regions := range c.byBuf {
 		var prev int64 = -1
 		for _, r := range regions {
+			if r.buf != uint64(buf) {
+				return fmt.Errorf("region %+v indexed under buf %d", r, buf)
+			}
 			if r.lo >= r.hi {
 				return fmt.Errorf("empty region %+v in buf %d", r, buf)
 			}

@@ -69,10 +69,23 @@ type Model struct {
 	bufSeq   uint64
 	tracer   *sim.Tracer
 
+	// coreSocket[core] caches Node.SocketOf(core): the per-op integer
+	// division showed up in charge-pipeline profiles. coreSlot[core] is the
+	// core's index within its socket — the cursor bank it uses in its
+	// socket's residency tracker (see cacheState.curs).
+	coreSocket []int
+	coreSlot   []int
+
 	// dramBWPerRank[s] is the steady-state DRAM bandwidth share of one rank
 	// on socket s; cacheBWPerRank likewise for the shared cache.
 	dramBWPerRank  []float64
 	cacheBWPerRank []float64
+
+	// dramBW[s][home] is dramBWPerRank[s] with the cross-socket penalty
+	// already folded in when home != s. The fold is the same single
+	// multiplication the per-op path used to perform, done once at model
+	// construction, so charged times are bit-identical.
+	dramBW [][]float64
 }
 
 // New builds a model for the node with the given rank-to-core binding
@@ -86,8 +99,15 @@ func New(node *topo.Node, rankCores []int) *Model {
 		Node:           node,
 		ranksPerSocket: make([]int, node.Sockets),
 		caches:         make([]*cacheState, node.Sockets),
+		coreSocket:     make([]int, node.Cores()),
+		coreSlot:       make([]int, node.Cores()),
 		dramBWPerRank:  make([]float64, node.Sockets),
 		cacheBWPerRank: make([]float64, node.Sockets),
+		dramBW:         make([][]float64, node.Sockets),
+	}
+	for core := range m.coreSocket {
+		m.coreSocket[core] = node.SocketOf(core)
+		m.coreSlot[core] = core - m.coreSocket[core]*node.CoresPerSocket
 	}
 	for _, core := range rankCores {
 		m.ranksPerSocket[node.SocketOf(core)]++
@@ -109,6 +129,14 @@ func New(node *topo.Node, rankCores []int) *Model {
 			node.DRAMBandwidthPerSocket/float64(ranks))
 		m.cacheBWPerRank[s] = minf(node.CacheBandwidthPerCore,
 			node.L3BandwidthPerSocket/float64(ranks))
+		m.dramBW[s] = make([]float64, node.Sockets)
+		for home := 0; home < node.Sockets; home++ {
+			bw := m.dramBWPerRank[s]
+			if home != s {
+				bw *= node.CrossSocketFactor
+			}
+			m.dramBW[s][home] = bw
+		}
 	}
 	return m
 }
@@ -137,7 +165,8 @@ func (m *Model) SetTracer(t *sim.Tracer) { m.tracer = t }
 // Tracer returns the attached tracer (nil when disabled).
 func (m *Model) Tracer() *sim.Tracer { return m.tracer }
 
-// span records a traced interval if tracing is enabled.
+// span records a traced interval if tracing is enabled. Hot paths guard the
+// call (and the span-name construction) behind a tracer nil check.
 func (m *Model) span(p *sim.Proc, name string, from float64) {
 	if m.tracer != nil {
 		m.tracer.Span(p, name, from, p.Now())
@@ -172,7 +201,7 @@ func (m *Model) AvailableCache() int64 {
 
 // SyncLatency returns the one-way flag latency between two cores.
 func (m *Model) SyncLatency(coreA, coreB int) float64 {
-	if m.Node.SocketOf(coreA) == m.Node.SocketOf(coreB) {
+	if m.coreSocket[coreA] == m.coreSocket[coreB] {
 		return m.Node.SyncLatencyIntra
 	}
 	return m.Node.SyncLatencyInter
@@ -182,27 +211,24 @@ func (m *Model) SyncLatency(coreA, coreB int) float64 {
 // through sim flags/barriers by the caller).
 func (m *Model) CountSync() { m.counters.SyncCount++ }
 
-// dramTime charges DRAM traffic originating from `core` against buffer b's
+// dramTime charges DRAM traffic originating on `socket` against buffer b's
 // home memory and returns the time it takes.
-func (m *Model) dramTime(core int, b *Buffer, bytes int64) float64 {
+func (m *Model) dramTime(socket int, b *Buffer, bytes int64) float64 {
 	if bytes == 0 {
 		return 0
 	}
-	s := m.Node.SocketOf(core)
-	bw := m.dramBWPerRank[s]
-	if b.Home != s {
-		bw *= m.Node.CrossSocketFactor
+	if b.Home != socket {
 		m.counters.CrossSocketBytes += bytes
 	}
 	m.counters.DRAMTraffic += bytes
-	return float64(bytes) / bw
+	return float64(bytes) / m.dramBW[socket][b.Home]
 }
 
 // pinnedTime is the access time for a pinned (always-resident) buffer:
 // cache speed locally, cross-socket cache-to-cache penalty remotely.
-func (m *Model) pinnedTime(core int, b *Buffer, bytes int64) float64 {
-	t := m.cacheTime(core, bytes)
-	if b.Home != m.Node.SocketOf(core) {
+func (m *Model) pinnedTime(socket int, b *Buffer, bytes int64) float64 {
+	t := m.cacheTime(socket, bytes)
+	if b.Home != socket {
 		t /= m.Node.CrossSocketFactor
 		m.counters.CrossSocketBytes += bytes
 	}
@@ -210,39 +236,51 @@ func (m *Model) pinnedTime(core int, b *Buffer, bytes int64) float64 {
 }
 
 // cacheTime returns the time for `bytes` served at cache speed.
-func (m *Model) cacheTime(core int, bytes int64) float64 {
+func (m *Model) cacheTime(socket int, bytes int64) float64 {
 	if bytes == 0 {
 		return 0
 	}
-	s := m.Node.SocketOf(core)
-	return float64(bytes) / m.cacheBWPerRank[s]
+	return float64(bytes) / m.cacheBWPerRank[socket]
 }
 
 // Load charges a temporal load of n elements of b at offset off, performed
 // by the rank running on `core`, advancing p's clock. Loaded data becomes
 // cache-resident on the core's socket.
 func (m *Model) Load(p *sim.Proc, core int, b *Buffer, off, n int64) {
+	m.load(p, m.coreSocket[core], m.coreSlot[core], b, off, n)
+}
+
+// load is Load with the socket and cursor bank already resolved — the
+// sub-charge the fused entrypoints below share. It performs exactly one
+// p.Advance. The bank is selected per sub-charge (not once per fused op):
+// the Advance of one sub-charge may yield to other ranks whose ops select
+// their own banks in the same tracker.
+func (m *Model) load(p *sim.Proc, socket, slot int, b *Buffer, off, n int64) {
 	b.CheckRange(off, n)
 	lo, hi := off*ElemSize, (off+n)*ElemSize
 	bytes := hi - lo
 	m.counters.LoadBytes += bytes
-	from := p.Now()
-	defer m.span(p, "load "+b.Name, from)
+	if m.tracer != nil {
+		from := p.Now()
+		defer m.span(p, "load "+b.Name, from)
+	}
 	if b.Pinned {
-		p.Advance(m.pinnedTime(core, b, bytes))
+		p.Advance(m.pinnedTime(socket, b, bytes))
 		return
 	}
-	c := m.caches[m.Node.SocketOf(core)]
-	cached := c.lookup(b.ID, lo, hi)
+	c := m.caches[socket]
+	c.curSlot = slot
+	// Single residency scan answers both "how much is cached" (timing) and
+	// "is any of it dirty" (the re-insert below must not lose the dirty bit
+	// of data a previous store left in the cache).
+	cached, dirtyOverlap := c.lookupBoth(b.ID, lo, hi)
 	missed := bytes - cached
-	t := m.cacheTime(core, cached) + m.dramTime(core, b, missed)
-	// Note: insert re-inserts the full range, which also refreshes recency
-	// of the previously cached portion. A load must not lose the dirty bit
-	// of data a previous store left in the cache, so keep overlap dirty.
-	dirtyOverlap := c.lookupDirty(b.ID, lo, hi)
+	t := m.cacheTime(socket, cached) + m.dramTime(socket, b, missed)
+	// insert re-inserts the full range, which also refreshes recency of the
+	// previously cached portion.
 	wb := c.insert(b.ID, lo, hi, dirtyOverlap > 0)
 	if wb > 0 {
-		t += float64(wb) / m.dramBWPerRank[m.Node.SocketOf(core)]
+		t += float64(wb) / m.dramBWPerRank[socket]
 		m.counters.DRAMTraffic += wb
 		m.counters.WritebackBytes += wb
 	}
@@ -254,31 +292,40 @@ func (m *Model) Load(p *sim.Proc, core int, b *Buffer, off, n int64) {
 // region dirty; hits run at cache speed. Non-temporal stores bypass the
 // cache entirely and invalidate any resident copy.
 func (m *Model) Store(p *sim.Proc, core int, b *Buffer, off, n int64, kind StoreKind) {
+	m.store(p, m.coreSocket[core], m.coreSlot[core], b, off, n, kind)
+}
+
+// store is Store with the socket and cursor bank already resolved — the
+// sub-charge the fused entrypoints below share (see load on bank
+// selection). It performs exactly one p.Advance.
+func (m *Model) store(p *sim.Proc, socket, slot int, b *Buffer, off, n int64, kind StoreKind) {
 	b.CheckRange(off, n)
 	lo, hi := off*ElemSize, (off+n)*ElemSize
 	bytes := hi - lo
 	m.counters.StoreBytes += bytes
-	from := p.Now()
-	defer m.span(p, kind.String()+" store "+b.Name, from)
+	if m.tracer != nil {
+		from := p.Now()
+		defer m.span(p, kind.String()+" store "+b.Name, from)
+	}
 	if b.Pinned {
-		p.Advance(m.pinnedTime(core, b, bytes))
+		p.Advance(m.pinnedTime(socket, b, bytes))
 		return
 	}
-	socket := m.Node.SocketOf(core)
 	c := m.caches[socket]
+	c.curSlot = slot
 	var t float64
 	switch kind {
 	case Temporal:
 		cached := c.lookup(b.ID, lo, hi)
 		missed := bytes - cached
 		// Hit portion: store at cache speed.
-		t += m.cacheTime(core, cached)
+		t += m.cacheTime(socket, cached)
 		// Miss portion: RFO fill from DRAM, then the store itself hits the
 		// newly allocated lines at cache speed.
 		if missed > 0 {
-			t += m.dramTime(core, b, missed)
+			t += m.dramTime(socket, b, missed)
 			m.counters.RFOBytes += missed
-			t += m.cacheTime(core, missed)
+			t += m.cacheTime(socket, missed)
 		}
 		// insert replaces any overlapped regions and marks the range dirty.
 		wb := c.insert(b.ID, lo, hi, true)
@@ -289,12 +336,47 @@ func (m *Model) Store(p *sim.Proc, core int, b *Buffer, off, n int64, kind Store
 		}
 	case NonTemporal:
 		c.invalidate(b.ID, lo, hi)
-		t += m.dramTime(core, b, bytes)
+		t += m.dramTime(socket, b, bytes)
 		m.counters.NTStoreBytes += bytes
 	default:
 		panic(fmt.Sprintf("memmodel: unknown store kind %d", kind))
 	}
 	p.Advance(t)
+}
+
+// Copy charges the load+store pair of copying n elements from src[sOff] to
+// dst[dOff]: the fused per-chunk charge behind Rank.CopyElems. Fusion only
+// shares the per-call preamble (socket resolve, range decode); the two
+// sub-charges keep their own p.Advance calls with the same float operations
+// in the same order as the equivalent Load+Store sequence, and the yields
+// inside those Advances keep the same cross-proc interleaving — charged
+// times, counters and residency decisions are bit-identical.
+func (m *Model) Copy(p *sim.Proc, core int, dst *Buffer, dOff int64, src *Buffer, sOff, n int64, kind StoreKind) {
+	s, sl := m.coreSocket[core], m.coreSlot[core]
+	m.load(p, s, sl, src, sOff, n)
+	m.store(p, s, sl, dst, dOff, n, kind)
+}
+
+// Accumulate charges dst[dOff..] op= src[sOff..] over n elements: two loads,
+// one store and the arithmetic floor, fused per chunk (see Copy for the
+// determinism argument).
+func (m *Model) Accumulate(p *sim.Proc, core int, dst *Buffer, dOff int64, src *Buffer, sOff, n int64, kind StoreKind) {
+	s, sl := m.coreSocket[core], m.coreSlot[core]
+	m.load(p, s, sl, dst, dOff, n)
+	m.load(p, s, sl, src, sOff, n)
+	m.store(p, s, sl, dst, dOff, n, kind)
+	m.ReduceFloor(p, n)
+}
+
+// Combine charges out[oOff..] = op(a[aOff..], b[bOff..]) over n elements:
+// two loads, one store and the arithmetic floor, fused per chunk (see Copy
+// for the determinism argument).
+func (m *Model) Combine(p *sim.Proc, core int, out *Buffer, oOff int64, a *Buffer, aOff int64, b *Buffer, bOff, n int64, kind StoreKind) {
+	s, sl := m.coreSocket[core], m.coreSlot[core]
+	m.load(p, s, sl, a, aOff, n)
+	m.load(p, s, sl, b, bOff, n)
+	m.store(p, s, sl, out, oOff, n, kind)
+	m.ReduceFloor(p, n)
 }
 
 // CountCopyVolume adds 2*n elements worth of bytes to the copy-volume
@@ -318,7 +400,8 @@ func (m *Model) ReduceFloor(p *sim.Proc, n int64) {
 // updating send/recv buffers between iterations.
 func (m *Model) Warm(core int, b *Buffer, off, n int64) {
 	b.CheckRange(off, n)
-	c := m.caches[m.Node.SocketOf(core)]
+	c := m.caches[m.coreSocket[core]]
+	c.curSlot = m.coreSlot[core]
 	wb := c.insert(b.ID, off*ElemSize, (off+n)*ElemSize, true)
 	_ = wb // warm-up write-backs are not charged
 }

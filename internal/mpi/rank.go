@@ -102,8 +102,7 @@ func (r *Rank) CopyElems(dst *memmodel.Buffer, dOff int64, src *memmodel.Buffer,
 		copy(dst.Slice(dOff, n), src.Slice(sOff, n))
 	}
 	m := r.machine.Model
-	m.Load(r.proc, r.Core(), src, sOff, n)
-	m.Store(r.proc, r.Core(), dst, dOff, n, kind)
+	m.Copy(r.proc, r.Core(), dst, dOff, src, sOff, n, kind)
 	if dst.Space != src.Space {
 		m.CountCopyVolume(n)
 	}
@@ -122,10 +121,7 @@ func (r *Rank) AccumulateElems(dst *memmodel.Buffer, dOff int64, src *memmodel.B
 		op.Apply(dst.Slice(dOff, n), src.Slice(sOff, n))
 	}
 	m := r.machine.Model
-	m.Load(r.proc, r.Core(), dst, dOff, n)
-	m.Load(r.proc, r.Core(), src, sOff, n)
-	m.Store(r.proc, r.Core(), dst, dOff, n, kind)
-	m.ReduceFloor(r.proc, n)
+	m.Accumulate(r.proc, r.Core(), dst, dOff, src, sOff, n, kind)
 }
 
 // CombineElems performs out[oOff..] = op(a[aOff..], b[bOff..]) over n
@@ -142,10 +138,7 @@ func (r *Rank) CombineElems(out *memmodel.Buffer, oOff int64, a *memmodel.Buffer
 		op.Combine(out.Slice(oOff, n), a.Slice(aOff, n), b.Slice(bOff, n))
 	}
 	m := r.machine.Model
-	m.Load(r.proc, r.Core(), a, aOff, n)
-	m.Load(r.proc, r.Core(), b, bOff, n)
-	m.Store(r.proc, r.Core(), out, oOff, n, kind)
-	m.ReduceFloor(r.proc, n)
+	m.Combine(r.proc, r.Core(), out, oOff, a, aOff, b, bOff, n, kind)
 }
 
 // FillPattern writes a deterministic test pattern into a real buffer

@@ -1,22 +1,23 @@
 // Package sim implements a deterministic discrete-event engine for simulating
 // parallel processes with per-process virtual clocks.
 //
-// Each simulated process (Proc) runs in its own goroutine, but the engine
-// enforces that exactly one process executes at a time and always resumes the
-// runnable process with the smallest virtual clock. Events are therefore
-// processed in simulated-time order, which makes runs fully deterministic:
-// the same program produces the same clocks, the same cache-residency
-// decisions and the same counter values on every run, regardless of the Go
-// scheduler.
+// Each simulated process (Proc) runs as a coroutine (iter.Pull), and the
+// engine enforces that exactly one process executes at a time and always
+// resumes the runnable process with the smallest virtual clock. Events are
+// therefore processed in simulated-time order, which makes runs fully
+// deterministic: the same program produces the same clocks, the same
+// cache-residency decisions and the same counter values on every run,
+// regardless of the Go scheduler.
 //
-// Control transfers proc-to-proc directly: when a process parks, it pops the
-// next earliest runnable process off the heap and wakes it on that process's
-// resume channel, so a switch costs one channel handoff instead of a round
-// trip through a central scheduler goroutine. The Run caller's goroutine is
-// only involved at the start of a run and when the runnable heap empties
-// (completion, deadlock or a propagated panic). A process that is still the
+// Control transfers through the engine loop with coroutine switches: when a
+// process parks, it suspends its coroutine back into the loop, which resumes
+// the earliest runnable process. A coroutine switch (runtime.coroswitch) is a
+// direct goroutine swap that never enters the Go scheduler, so the
+// two-switch round trip through the loop costs a fraction of a single
+// channel handoff (which must park, lock a run queue, and re-ready the
+// goroutine, checking timers along the way). A process that is still the
 // earliest runnable one skips parking entirely and keeps executing with zero
-// channel operations.
+// switches.
 //
 // The engine is the substrate for the MPI-rank runtime in internal/mpi: a
 // rank advances its clock when it performs (modelled) memory operations and
@@ -25,11 +26,10 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 )
 
 // State describes the lifecycle of a Proc.
@@ -61,26 +61,40 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
+// killSignal is panicked through a suspended proc's body when the engine
+// tears the run down, so deferred functions still execute while the
+// coroutine unwinds. The coroutine wrapper swallows it.
+type killSignal struct{}
+
 // Proc is a simulated process with a virtual clock.
 type Proc struct {
 	id     int
 	name   string
 	engine *Engine
+	body   func(p *Proc)
 
 	clock float64 // seconds of virtual time
 	state State
 
-	resume chan struct{} // wakes this proc (from another proc or the engine)
+	// next resumes the proc's coroutine (runs it until its next suspend or
+	// until the body returns, when it reports false); stop tears the
+	// coroutine down, unwinding a suspended body. Both are only called from
+	// the engine loop's goroutine.
+	next func() (struct{}, bool)
+	stop func()
 
-	blockReason string
-	heapIndex   int // position in the runnable heap, -1 when off-heap
+	// suspendTo yields the proc's coroutine back to the engine loop. It
+	// reports false when the engine is tearing the run down.
+	suspendTo func(struct{}) bool
+
+	// blockedOn identifies what a Blocked proc is waiting for. The
+	// human-readable description is built only if a deadlock is reported,
+	// so the block hot path does no formatting or allocation.
+	blockedOn blocker
+	heapIndex int // position in the runnable heap, -1 when off-heap
 
 	// seq breaks clock ties deterministically (FIFO by last-yield order).
 	seq uint64
-
-	// killed is set by the engine during teardown (panic or deadlock);
-	// a woken proc must unwind instead of resuming its body.
-	killed bool
 }
 
 // ID returns the process id assigned at spawn time (dense, starting at 0).
@@ -114,50 +128,56 @@ func (p *Proc) AdvanceTo(t float64) {
 // Yield gives other processes a chance to run without advancing the clock.
 func (p *Proc) Yield() { p.yield() }
 
-// yield relinquishes control — unless this proc is still the earliest
-// runnable one, in which case parking would only buy an immediate resume.
-// Skipping the handoff preserves virtual-time order exactly (we only keep
-// running while no runnable proc has an earlier clock) and removes the
-// dominant per-operation cost for compute-heavy stretches. When another
-// proc has a strictly earlier clock, control transfers to it directly:
-// this proc re-enters the runnable heap and wakes the earliest proc on its
-// resume channel, with no engine-goroutine round trip.
+// yield relinquishes control — unless this proc is still running ahead of
+// every runnable proc, in which case parking would only buy an immediate
+// resume. The run-ahead test compares against e.horizon, the cached clock
+// of the earliest runnable proc: within the window the op completes with a
+// single float comparison — no heap peek, no coroutine switch. The cache
+// cannot go stale inside the window because exactly one proc executes at a
+// time, so the heap only changes through this proc's own actions (which
+// refresh it). Skipping the switch preserves virtual-time order exactly: we
+// only keep running while no runnable proc has an earlier clock. When one
+// does, this proc re-enters the runnable heap (its key is larger than
+// everything there, so the sift-up is a single comparison) and suspends to
+// the engine loop, which resumes the heap minimum — the same proc the old
+// root held, since p cannot be the minimum.
 func (p *Proc) yield() {
 	e := p.engine
-	if len(e.runnable) == 0 || p.clock <= e.runnable[0].clock {
+	if p.clock <= e.horizon {
 		return
 	}
-	// The heap minimum has a strictly earlier clock than p, so swapping p
-	// in for the root (one sift-down instead of a push plus a pop) can
-	// never hand control back to p itself.
 	p.state = Ready
 	e.seqGen++
 	p.seq = e.seqGen
-	next := e.runnable.replaceRoot(p)
-	next.resume <- struct{}{}
-	p.park()
+	e.runnable.push(p)
+	e.updateHorizon()
+	p.suspend()
+}
+
+// blocker is something a proc can block on; it renders the proc's wait
+// condition lazily, only when blockedSummary diagnoses a deadlock.
+type blocker interface {
+	blockedReason(p *Proc) string
 }
 
 // block parks the proc in the Blocked state; it will not be scheduled until
-// some other proc calls unblock on it. Control transfers directly to the
-// earliest runnable proc, or to the engine loop if nothing is runnable
-// (which then reports the deadlock).
-func (p *Proc) block(reason string) {
+// some other proc calls unblock on it. Control suspends to the engine loop,
+// which resumes the earliest runnable proc or diagnoses the deadlock if
+// nothing is runnable.
+func (p *Proc) block(on blocker) {
 	p.state = Blocked
-	p.blockReason = reason
-	p.engine.switchToNext()
-	p.park()
-	p.blockReason = ""
+	p.blockedOn = on
+	p.suspend()
+	p.blockedOn = nil
 }
 
-// park waits until this proc is handed control again, then marks it
-// Running. If the engine tore the run down while we were parked, unwind
-// the goroutine instead (deferred functions still run; the spawn wrapper
-// recognizes the killed state and exits quietly).
-func (p *Proc) park() {
-	<-p.resume
-	if p.killed {
-		runtime.Goexit()
+// suspend returns control to the engine loop until this proc is resumed. If
+// the engine tore the run down while the proc was suspended, the body is
+// unwound instead (deferred functions still run; the coroutine wrapper
+// swallows the signal).
+func (p *Proc) suspend() {
+	if !p.suspendTo(struct{}{}) {
+		panic(killSignal{})
 	}
 	p.state = Running
 }
@@ -183,25 +203,30 @@ type Engine struct {
 	finished int
 	seqGen   uint64
 
-	// park wakes the Run caller when control must return to the engine:
-	// the runnable heap emptied or a proc panicked.
-	park chan struct{}
-
-	// wg tracks spawned proc goroutines so teardown can prove they all
-	// unwound (no leaks after a panic or deadlock).
-	wg sync.WaitGroup
-
-	panicVal interface{}
-	panicned bool
+	// horizon caches the clock of the runnable heap's minimum (+Inf when
+	// the heap is empty): the virtual time up to which the running proc may
+	// advance without yielding. Every heap mutation refreshes it via
+	// updateHorizon, so the per-op yield check is one comparison.
+	horizon float64
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{park: make(chan struct{})}
+	return &Engine{horizon: math.Inf(1)}
+}
+
+// updateHorizon re-derives the run-ahead horizon from the heap minimum.
+// Called after every heap mutation.
+func (e *Engine) updateHorizon() {
+	if len(e.runnable) > 0 {
+		e.horizon = e.runnable[0].clock
+	} else {
+		e.horizon = math.Inf(1)
+	}
 }
 
 // Spawn registers a new process with the given body. It must be called
-// before Run. The body runs in its own goroutine under engine control.
+// before Run. The body runs as a coroutine under engine control.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	if e.started {
 		panic("sim: Spawn after Run")
@@ -210,37 +235,30 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		id:        len(e.procs),
 		name:      name,
 		engine:    e,
+		body:      body,
 		state:     Ready,
-		resume:    make(chan struct{}),
 		heapIndex: -1,
 	}
 	e.procs = append(e.procs, p)
-	e.wg.Add(1)
-	go func() {
-		defer e.wg.Done()
-		<-p.resume
-		if p.killed {
-			return // engine teardown before this proc ever ran
-		}
-		defer func() {
-			if p.killed {
-				return // teardown unwind (Goexit): the engine owns all state
-			}
-			if r := recover(); r != nil {
-				e.panicVal = r
-				e.panicned = true
-				p.state = Done
-				e.park <- struct{}{} // panics always return to the Run caller
-				return
-			}
-			p.state = Done
-			e.finished++
-			e.switchToNext()
-		}()
-		p.state = Running
-		body(p)
-	}()
 	return p
+}
+
+// start materializes p's coroutine. The iterator function does not run
+// until the engine first resumes the proc; a teardown before that simply
+// never starts the body (stop on an unstarted iterator is a no-op on it).
+func (p *Proc) start() {
+	p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
+		p.suspendTo = yield
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSignal); ok {
+					return // teardown unwind: the engine owns all state
+				}
+				panic(r) // re-raised by iter.Pull inside the engine's next()
+			}
+		}()
+		p.body(p)
+	})
 }
 
 // Procs returns all spawned processes.
@@ -256,46 +274,39 @@ func (e *Engine) makeRunnable(p *Proc) {
 	e.seqGen++
 	p.seq = e.seqGen
 	e.runnable.push(p)
-}
-
-// switchToNext hands control to the earliest runnable proc, waking it on
-// its resume channel; if nothing is runnable, control returns to the
-// engine loop (run complete, or deadlock for it to diagnose). Called by
-// the parking proc itself — the single channel send IS the context
-// switch, there is no intermediary.
-func (e *Engine) switchToNext() {
-	if len(e.runnable) > 0 {
-		next := e.runnable.pop()
-		next.resume <- struct{}{}
-		return
-	}
-	e.park <- struct{}{}
+	e.updateHorizon()
 }
 
 // Run executes all processes to completion in virtual-time order.
 // It returns an error if the simulation deadlocks (some processes remain
 // blocked with nothing runnable) or if a process panicked. Either way, no
-// proc goroutine outlives Run: teardown wakes every parked proc with the
-// killed flag and waits for all of them to unwind.
+// proc coroutine outlives Run: teardown unwinds every suspended proc.
 func (e *Engine) Run() error {
 	if e.started {
 		return fmt.Errorf("sim: engine already ran")
 	}
 	e.started = true
 	for _, p := range e.procs {
+		p.start()
 		e.makeRunnable(p)
 	}
-	if len(e.procs) > 0 {
-		// Hand control to the earliest proc; it comes back here only when
-		// the runnable heap empties or a proc panics.
-		e.switchToNext()
-		<-e.park
-	}
-	if e.panicned {
-		pv := e.panicVal
-		e.panicned = false
-		e.terminate()
-		panic(pv) // re-raise proc panics on the caller's goroutine
+	// The scheduling loop: always resume the earliest runnable proc. A
+	// proc's panic propagates out of next() onto this goroutine; tear the
+	// other coroutines down, then re-raise it to the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			e.terminate()
+			panic(r)
+		}
+	}()
+	for len(e.runnable) > 0 {
+		p := e.runnable.pop()
+		e.updateHorizon()
+		p.state = Running
+		if _, alive := p.next(); !alive {
+			p.state = Done
+			e.finished++
+		}
 	}
 	if e.finished != len(e.procs) {
 		err := fmt.Errorf("sim: deadlock, %d of %d procs blocked: %s",
@@ -306,19 +317,17 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// terminate wakes every unfinished proc goroutine with the killed flag set
-// so it unwinds (running its deferred functions), then waits until all
-// goroutines have exited. Called after a panic or deadlock so that failed
-// runs do not leak parked goroutines.
+// terminate unwinds every unfinished proc coroutine (running its deferred
+// functions) so that failed runs do not leak suspended coroutines. stop
+// blocks until the coroutine has fully unwound.
 func (e *Engine) terminate() {
 	for _, p := range e.procs {
-		if p.state == Done {
+		if p.state == Done || p.stop == nil {
 			continue
 		}
-		p.killed = true
-		p.resume <- struct{}{}
+		p.stop()
+		p.state = Done
 	}
-	e.wg.Wait()
 }
 
 // blockedSummary lists blocked processes and their reasons for diagnostics.
@@ -326,7 +335,11 @@ func (e *Engine) blockedSummary() string {
 	var blocked []string
 	for _, p := range e.procs {
 		if p.state == Blocked {
-			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, p.blockReason))
+			reason := "unknown"
+			if p.blockedOn != nil {
+				reason = p.blockedOn.blockedReason(p)
+			}
+			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, reason))
 		}
 	}
 	sort.Strings(blocked)
@@ -345,12 +358,24 @@ func (e *Engine) MaxClock() float64 {
 	return max
 }
 
-// procHeap is a binary min-heap of procs ordered by (clock, seq). It is a
+// procHeap is a 4-ary min-heap of procs ordered by (clock, seq). It is a
 // concrete implementation (no container/heap interface dispatch) because
-// push/pop/replaceRoot sit on the per-yield hot path. The (clock, seq) key
-// is a strict total order — seq values are unique — so the pop sequence is
-// fully determined by the heap's contents, never by its internal layout.
-type procHeap []*Proc
+// push/pop sit on the per-switch hot path, and 4-ary rather than binary
+// because pop's sift-down is bounded by tree depth, which a branching
+// factor of 4 halves (a 16-proc machine sifts through 2 levels, not 4).
+// The (clock, seq) key is copied into the entry at push time so sift
+// compares read contiguous memory instead of chasing Proc pointers; the
+// copy is safe because a parked proc's clock and seq are frozen until it
+// leaves the heap. The key is a strict total order — seq values are unique
+// — so the pop sequence is fully determined by the heap's contents, never
+// by its internal layout or arity.
+type heapEntry struct {
+	clock float64
+	seq   uint64
+	p     *Proc
+}
+
+type procHeap []heapEntry
 
 func (h procHeap) less(i, j int) bool {
 	if h[i].clock != h[j].clock {
@@ -361,13 +386,13 @@ func (h procHeap) less(i, j int) bool {
 
 func (h procHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].heapIndex = i
-	h[j].heapIndex = j
+	h[i].p.heapIndex = i
+	h[j].p.heapIndex = j
 }
 
 func (h procHeap) siftUp(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !h.less(i, parent) {
 			break
 		}
@@ -379,13 +404,19 @@ func (h procHeap) siftUp(i int) {
 func (h procHeap) siftDown(i int) {
 	n := len(h)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		m := left
-		if right := left + 1; right < n && h.less(right, left) {
-			m = right
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		m := first
+		for c := first + 1; c < last; c++ {
+			if h.less(c, m) {
+				m = c
+			}
 		}
 		if !h.less(m, i) {
 			break
@@ -398,35 +429,20 @@ func (h procHeap) siftDown(i int) {
 // push adds p to the heap.
 func (h *procHeap) push(p *Proc) {
 	p.heapIndex = len(*h)
-	*h = append(*h, p)
+	*h = append(*h, heapEntry{clock: p.clock, seq: p.seq, p: p})
 	h.siftUp(p.heapIndex)
 }
 
 // pop removes and returns the earliest proc.
 func (h *procHeap) pop() *Proc {
 	old := *h
-	p := old[0]
+	p := old[0].p
 	n := len(old) - 1
 	old[0] = old[n]
-	old[0].heapIndex = 0
-	old[n] = nil
+	old[0].p.heapIndex = 0
+	old[n] = heapEntry{}
 	*h = old[:n]
 	h.siftDown(0)
 	p.heapIndex = -1
 	return p
-}
-
-// replaceRoot swaps p in for the current minimum and returns that minimum:
-// one sift-down instead of a push followed by a pop. The single-element
-// case (two procs alternating, the common collective pattern) skips the
-// sift-down call entirely.
-func (h procHeap) replaceRoot(p *Proc) *Proc {
-	old := h[0]
-	h[0] = p
-	p.heapIndex = 0
-	if len(h) > 1 {
-		h.siftDown(0)
-	}
-	old.heapIndex = -1
-	return old
 }

@@ -367,9 +367,9 @@ func TestMaxClockIsMakespanProperty(t *testing.T) {
 }
 
 func TestProcPanicLeavesNoGoroutines(t *testing.T) {
-	// A panicking proc must not strand the other proc goroutines parked on
-	// their resume channels: Run's teardown wakes and unwinds all of them
-	// before re-raising.
+	// A panicking proc must not strand the other procs' coroutine
+	// goroutines in their suspended state: Run's teardown unwinds all of
+	// them before re-raising.
 	runtime.GC()
 	before := runtime.NumGoroutine()
 	for round := 0; round < 10; round++ {

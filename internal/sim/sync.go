@@ -54,7 +54,9 @@ func (p *Proc) Incr(f *Flag) { p.Set(f, f.val+1) }
 // Wait blocks p until the flag reaches at least v. The latency parameter is
 // the one-way signal propagation cost charged to the waiter when it observes
 // the flag (0 if the flag was already set — the waiter still pays latency,
-// modelling the load of the remote flag line).
+// modelling the load of the remote flag line). A wait on an already
+// satisfied flag never parks: it costs one Advance, which inside the
+// engine's run-ahead window is a single comparison.
 func (p *Proc) Wait(f *Flag, v uint64, latency float64) {
 	if f.val >= v {
 		// Flag already set: pay only the flag-line load.
@@ -62,7 +64,17 @@ func (p *Proc) Wait(f *Flag, v uint64, latency float64) {
 		return
 	}
 	f.waiters = append(f.waiters, flagWaiter{p: p, threshold: v, latency: latency})
-	p.block(fmt.Sprintf("flag %q >= %d (now %d)", f.name, v, f.val))
+	p.block(f)
+}
+
+// blockedReason renders a waiter's condition for deadlock diagnostics.
+func (f *Flag) blockedReason(p *Proc) string {
+	for _, w := range f.waiters {
+		if w.p == p {
+			return fmt.Sprintf("flag %q >= %d (now %d)", f.name, w.threshold, f.val)
+		}
+	}
+	return fmt.Sprintf("flag %q (now %d)", f.name, f.val)
 }
 
 // Barrier is a reusable sense-reversing barrier over a fixed set of
@@ -101,7 +113,7 @@ func (p *Proc) Arrive(b *Barrier, latency float64) {
 	b.arrived++
 	if b.arrived < b.parties {
 		b.waiting = append(b.waiting, p)
-		p.block(fmt.Sprintf("barrier %q (%d/%d)", b.name, b.arrived, b.parties))
+		p.block(b)
 		return
 	}
 	// Last arrival releases everyone.
@@ -114,4 +126,9 @@ func (p *Proc) Arrive(b *Barrier, latency float64) {
 	b.maxTime = 0
 	b.epoch++
 	p.AdvanceTo(release)
+}
+
+// blockedReason renders a waiter's condition for deadlock diagnostics.
+func (b *Barrier) blockedReason(p *Proc) string {
+	return fmt.Sprintf("barrier %q (%d/%d arrived)", b.name, b.arrived, b.parties)
 }

@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: build test test-race race vet bench bench-baseline bench-compare
+.PHONY: build test test-race race race-fast vet chaos bench bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
 
-test:
+# Default gate: vet, the full test suite, then a race pass over everything
+# except internal/bench (whose determinism sweeps are ~10x slower under the
+# race detector; use test-race for the exhaustive version).
+test: vet
 	$(GO) test ./...
+	$(MAKE) race-fast
+
+race-fast:
+	$(GO) test -race $$($(GO) list ./... | grep -v internal/bench)
 
 # The bench package's determinism sweeps run ~10x slower under the race
 # detector on a small host, so give the suite room beyond the 10m default.
@@ -18,6 +25,12 @@ race: test-race
 
 vet:
 	$(GO) vet ./...
+
+# Fault-injection sweep: every collective x fault plan must finish clean,
+# fail with a diagnosis naming the victim rank, or be caught by
+# self-validation. Exits nonzero on any undiagnosed outcome.
+chaos:
+	$(GO) run ./cmd/yhcclbench -chaos
 
 # Engine + residency micro-benchmarks (text output, for quick comparisons).
 bench:

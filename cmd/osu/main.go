@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"yhccl/internal/coll"
+	"yhccl/internal/fault"
 	"yhccl/internal/memmodel"
 	"yhccl/internal/mpi"
 	"yhccl/internal/sim"
@@ -36,6 +37,7 @@ func main() {
 		stats      = flag.Bool("stats", false, "also print DAV and DRAM-traffic columns")
 		traceFile  = flag.String("trace", "", "write a chrome://tracing JSON of the largest size's run")
 		algsFlag   = flag.Bool("algs", false, "list algorithms for -coll and exit")
+		straggler  = flag.String("straggler", "", "inject a deterministic straggler into the timed runs, as rank:factor (e.g. 3:8)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	plan, err := parseStraggler(*straggler)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *check {
 		if err := verify(node, *np, *collective, *alg); err != nil {
@@ -62,6 +68,9 @@ func main() {
 
 	fmt.Printf("# OSU-style %s, %s, np=%d, algorithm=%s (simulated time)\n",
 		*collective, node.Name, *np, *alg)
+	if plan != nil {
+		fmt.Printf("# %v\n", plan)
+	}
 	if *stats {
 		fmt.Printf("%-12s %14s %12s %12s %10s\n", "# Size", "Avg Latency(us)", "DAV(MB)", "DRAM(MB)", "syncs")
 	} else {
@@ -69,7 +78,7 @@ func main() {
 	}
 	for s := lo; s <= hi; s *= 2 {
 		trace := *traceFile != "" && s*2 > hi // only the largest size
-		t, counters, tr, err := measure(node, *np, *collective, *alg, s, trace)
+		t, counters, tr, err := measure(node, *np, *collective, *alg, s, trace, plan)
 		if err != nil {
 			fatal(err)
 		}
@@ -143,10 +152,37 @@ func algNames(collective string) []string {
 	return nil
 }
 
+// parseStraggler turns a "rank:factor" spec into a one-straggler fault plan
+// (nil when the spec is empty).
+func parseStraggler(s string) (*fault.Plan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad -straggler %q, want rank:factor", s)
+	}
+	rank, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad -straggler rank %q", parts[0])
+	}
+	factor, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -straggler factor %q", parts[1])
+	}
+	return &fault.Plan{
+		Name:       "cli-straggler",
+		Stragglers: []fault.Straggler{{Rank: rank, Factor: factor}},
+	}, nil
+}
+
 // measure returns steady-state simulated seconds and the measured
 // iteration's counters at message bytes s, optionally tracing it.
-func measure(node *topo.Node, np int, collective, alg string, s int64, trace bool) (float64, memmodel.Counters, *sim.Tracer, error) {
+func measure(node *topo.Node, np int, collective, alg string, s int64, trace bool, plan *fault.Plan) (float64, memmodel.Counters, *sim.Tracer, error) {
 	m := mpi.NewMachine(node, np, false)
+	if err := m.SetFaultPlan(plan); err != nil {
+		return 0, memmodel.Counters{}, nil, err
+	}
 	body, err := makeBody(m, collective, alg, s)
 	if err != nil {
 		return 0, memmodel.Counters{}, nil, err

@@ -9,6 +9,7 @@
 //	yhcclbench -exp fig11a -quick    # 3-point sweep instead of 13
 //	yhcclbench -exp all -csv out/    # also write out/<id>.csv per experiment
 //	yhcclbench -exp fig9a -cpuprofile cpu.prof
+//	yhcclbench -chaos                # fault-injection sweep (exit 1 on undiagnosed)
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"runtime/pprof"
 
 	"yhccl/internal/bench"
+	"yhccl/internal/chaos"
 )
 
 func main() {
@@ -30,8 +32,16 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory to write one <id>.csv per experiment (created if missing)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		chaosF  = flag.Bool("chaos", false, "run the fault-injection chaos sweep and exit (nonzero if any case is undiagnosed)")
 	)
 	flag.Parse()
+
+	if *chaosF {
+		if bad := chaos.Report(os.Stdout, chaos.Sweep(chaos.DefaultCases())); bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		desc := bench.Describe()

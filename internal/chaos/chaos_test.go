@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"yhccl/internal/coll"
+	"yhccl/internal/fault"
+	"yhccl/internal/mpi"
+)
+
+// TestSweepNeverHangsNeverUnattributed is the acceptance gate: for every
+// collective × fault plan in the default sweep, the run either produces
+// bit-correct output, fails with a diagnosis naming the victim rank, or has
+// its corruption caught by self-validation. The package test timeout
+// enforces "zero hangs"; the Undiagnosed bucket enforces "zero unattributed
+// panics, zero silently wrong answers".
+func TestSweepNeverHangsNeverUnattributed(t *testing.T) {
+	results := Sweep(DefaultCases())
+	for _, res := range results {
+		if !res.Acceptable() {
+			t.Errorf("%s: %s: %v", res.Case, res.Outcome, res.Err)
+		}
+	}
+	// The sweep must actually exercise all three acceptable outcomes —
+	// a sweep where nothing fails is not testing fault handling.
+	counts := map[Outcome]int{}
+	for _, res := range results {
+		counts[res.Outcome]++
+	}
+	if counts[CleanPass] == 0 || counts[DiagnosedFailure] == 0 || counts[ValidationCaught] == 0 {
+		t.Errorf("sweep outcome spread degenerate: %v", counts)
+	}
+}
+
+func TestHealthyCasePassesClean(t *testing.T) {
+	res := Run(Case{Collective: "allreduce", Algo: "ring", Ranks: 8, Elems: 4096})
+	if res.Outcome != CleanPass {
+		t.Fatalf("healthy case: %s (%v)", res.Outcome, res.Err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("healthy case has no makespan")
+	}
+}
+
+func TestStragglerCompletesCorrectlyButSlower(t *testing.T) {
+	healthy := Run(Case{Collective: "allreduce", Algo: "ring", Ranks: 8, Elems: 4096})
+	slow := Run(Case{Collective: "allreduce", Algo: "ring", Ranks: 8, Elems: 4096,
+		Plan: &fault.Plan{Name: "s", Stragglers: []fault.Straggler{{Rank: 3, Factor: 16}}}})
+	if slow.Outcome != CleanPass {
+		t.Fatalf("straggler must not break correctness: %s (%v)", slow.Outcome, slow.Err)
+	}
+	if slow.Makespan <= healthy.Makespan {
+		t.Errorf("straggler makespan %g not above healthy %g", slow.Makespan, healthy.Makespan)
+	}
+}
+
+func TestStallDiagnosedNamingVictim(t *testing.T) {
+	res := Run(Case{Collective: "allreduce", Algo: "yhccl", Ranks: 8, Elems: 4096,
+		Plan: &fault.Plan{Name: "st", Stalls: []fault.Stall{{Rank: 1, At: 0}}}})
+	if res.Outcome != DiagnosedFailure {
+		t.Fatalf("stall: %s (%v)", res.Outcome, res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "rank1") {
+		t.Errorf("victim not named: %v", res.Err)
+	}
+	var re *mpi.RunError
+	if !errors.As(res.Err, &re) {
+		t.Fatalf("diagnosis is %T, want *mpi.RunError", res.Err)
+	}
+}
+
+func TestCrashDiagnosedNamingVictim(t *testing.T) {
+	res := Run(Case{Collective: "bcast", Algo: "pipelined", Ranks: 8, Elems: 4096,
+		Plan: &fault.Plan{Name: "cr", Stalls: []fault.Stall{{Rank: 7, At: 0, Crash: true}}}})
+	if res.Outcome != DiagnosedFailure {
+		t.Fatalf("crash: %s (%v)", res.Outcome, res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "rank7") || !strings.Contains(res.Err.Error(), "injected crash") {
+		t.Errorf("crash not attributed: %v", res.Err)
+	}
+}
+
+func TestCorruptionCaughtWithChunkAttribution(t *testing.T) {
+	res := Run(Case{Collective: "allreduce", Algo: "ring", Ranks: 8, Elems: 4096,
+		Plan: &fault.Plan{Name: "fl", Corruptions: []fault.Corruption{
+			{Rank: 2, SharedWrite: 0, Elem: 13, Bit: 51}}}})
+	if res.Outcome != ValidationCaught {
+		t.Fatalf("corruption: %s (%v)", res.Outcome, res.Err)
+	}
+	var ve *coll.ValidationError
+	if !errors.As(res.Err, &ve) {
+		t.Fatalf("diagnosis is %T, want *coll.ValidationError", res.Err)
+	}
+}
+
+func TestCaseDeterministicUnderInjection(t *testing.T) {
+	for _, c := range []Case{
+		{Collective: "allreduce", Algo: "ring", Ranks: 8, Elems: 4096,
+			Plan: &fault.Plan{Name: "s", Stragglers: []fault.Straggler{{Rank: 1, Factor: 5}}}},
+		{Collective: "allreduce", Algo: "yhccl", Ranks: 8, Elems: 4096,
+			Plan: fault.GenPlan(3, 8, 2e-4)},
+	} {
+		a, b := Run(c), Run(c)
+		if a.Outcome != b.Outcome || a.Makespan != b.Makespan {
+			t.Errorf("%s: nondeterministic: %s/%x vs %s/%x", c, a.Outcome, a.Makespan, b.Outcome, b.Makespan)
+		}
+		if (a.Err == nil) != (b.Err == nil) || (a.Err != nil && a.Err.Error() != b.Err.Error()) {
+			t.Errorf("%s: error diverged: %v vs %v", c, a.Err, b.Err)
+		}
+	}
+}
+
+func TestUnknownAlgoIsCleanError(t *testing.T) {
+	res := Run(Case{Collective: "allreduce", Algo: "no-such", Ranks: 4, Elems: 64})
+	if res.Outcome != Undiagnosed || res.Err == nil {
+		t.Fatalf("bad case should be flagged: %s (%v)", res.Outcome, res.Err)
+	}
+}
+
+func TestReportTalliesOutcomes(t *testing.T) {
+	results := Sweep([]Case{
+		{Collective: "allreduce", Algo: "ring", Ranks: 4, Elems: 512},
+		{Collective: "allreduce", Algo: "ring", Ranks: 4, Elems: 512,
+			Plan: &fault.Plan{Name: "st", Stalls: []fault.Stall{{Rank: 1, At: 0}}}},
+	})
+	var b strings.Builder
+	bad := Report(&b, results)
+	if bad != 0 {
+		t.Errorf("%d undiagnosed in a 2-case sanity sweep:\n%s", bad, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"clean-pass", "diagnosed-failure", "2 cases"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -170,7 +170,7 @@ func (c *Comm) Barrier() *shm.Barrier {
 		for i := range cores {
 			cores[i] = c.CoreOf(i)
 		}
-		c.barrier = shm.NewBarrier(c.machine.Model, c.name+"/barrier", cores)
+		c.barrier = shm.MustBarrier(c.machine.Model, c.name+"/barrier", cores)
 	}
 	return c.barrier
 }

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"yhccl/internal/fault"
+	"yhccl/internal/sim"
+)
+
+// RankStatus is the diagnostic snapshot of one rank at the moment a run
+// failed: where it was pinned, what operation it had declared via SetOp,
+// its lifecycle state and virtual clock, and — when blocked — what it was
+// waiting on.
+type RankStatus struct {
+	Rank    int
+	Core    int
+	Op      string
+	State   string
+	Clock   float64
+	Blocked string
+}
+
+func (s RankStatus) String() string {
+	b := fmt.Sprintf("rank%d@core%d", s.Rank, s.Core)
+	if s.Op != "" {
+		b += " in " + s.Op
+	}
+	b += fmt.Sprintf(" [%s t=%g]", s.State, s.Clock)
+	if s.Blocked != "" {
+		b += " waiting on " + s.Blocked
+	}
+	return b
+}
+
+// RunError is the failure report of a Machine.Run: the underlying simulator
+// diagnosis (deadlock, livelock, or an attributed proc panic), the per-rank
+// status snapshot taken at failure time, and — when a fault plan was active —
+// the plan name and every fault the injector actually fired. The underlying
+// error is reachable through Unwrap, so errors.As finds *sim.DeadlockError,
+// *sim.LivelockError, *sim.ProcPanic, or *sim.InjectedCrash beneath it.
+type RunError struct {
+	Err    error
+	Plan   string
+	Ranks  []RankStatus
+	Faults []fault.Event
+}
+
+func (e *RunError) Error() string {
+	msg := fmt.Sprintf("mpi: run failed: %v", e.Err)
+	if e.Plan != "" {
+		msg += fmt.Sprintf(" [fault plan %q]", e.Plan)
+	}
+	return msg
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Diagnose renders the full multi-line post-mortem: the failure, every
+// rank's status, and the faults that fired.
+func (e *RunError) Diagnose() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", e.Error())
+	for _, rs := range e.Ranks {
+		fmt.Fprintf(&b, "  %s\n", rs)
+	}
+	for _, ev := range e.Faults {
+		fmt.Fprintf(&b, "  fired: %s\n", ev)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// TimeoutError reports a bounded receive that expired before the matching
+// send produced enough data, including how far the message had progressed —
+// the difference between "sender never arrived" and "sender died mid-message".
+type TimeoutError struct {
+	Rank    int
+	Op      string
+	Comm    string
+	Src     int // global rank of the expected sender
+	Done    int64
+	Total   int64
+	Timeout float64
+	Clock   float64
+}
+
+func (e *TimeoutError) Error() string {
+	op := e.Op
+	if op == "" {
+		op = "recv"
+	}
+	return fmt.Sprintf("mpi: rank%d %s on %s: recv from rank%d timed out after %g virtual seconds at t=%g (%d of %d elems received)",
+		e.Rank, op, e.Comm, e.Src, e.Timeout, e.Clock, e.Done, e.Total)
+}
+
+// wrapRunError converts a simulator failure into a RunError carrying the
+// machine-level context: rank/core/op attribution for every proc in the
+// failure snapshot, plus the active fault plan's fired events.
+func (m *Machine) wrapRunError(cause error) *RunError {
+	re := &RunError{Err: cause}
+	if m.inject != nil {
+		re.Plan = m.inject.Plan().Name
+		re.Faults = append([]fault.Event(nil), m.inject.Events()...)
+	}
+	var sts []sim.ProcStatus
+	var pp *sim.ProcPanic
+	var dl *sim.DeadlockError
+	var ll *sim.LivelockError
+	switch {
+	case errors.As(cause, &pp):
+		sts = pp.Snapshot
+	case errors.As(cause, &dl):
+		sts = dl.Blocked
+	case errors.As(cause, &ll):
+		sts = ll.Procs
+	}
+	for _, st := range sts {
+		rs := RankStatus{
+			Rank:    st.ID,
+			State:   st.State.String(),
+			Clock:   st.Clock,
+			Blocked: st.Reason,
+		}
+		if st.ID >= 0 && st.ID < len(m.RankCores) {
+			rs.Core = m.RankCores[st.ID]
+		}
+		if st.ID >= 0 && st.ID < len(m.rankOps) {
+			rs.Op = m.rankOps[st.ID]
+		}
+		re.Ranks = append(re.Ranks, rs)
+	}
+	return re
+}

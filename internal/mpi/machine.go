@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"yhccl/internal/fault"
 	"yhccl/internal/memmodel"
 	"yhccl/internal/sim"
 	"yhccl/internal/topo"
@@ -22,10 +23,16 @@ type Machine struct {
 	// Real selects whether buffers carry actual data (correctness mode) or
 	// are model-only (timing mode for paper-scale sweeps).
 	Real bool
+	// Watchdog overrides the no-progress (livelock) threshold in scheduler
+	// switches: 0 uses sim.DefaultWatchdogSwitches, negative disables
+	// detection entirely.
+	Watchdog int
 
 	world    *Comm
 	sockets  []*Comm
 	privBufs map[int]map[string]*memmodel.Buffer
+	inject   *fault.Injector
+	rankOps  []string // op each rank last declared via SetOp, for diagnostics
 }
 
 // NewMachine creates a machine with p ranks block-bound to cores 0..p-1
@@ -93,20 +100,77 @@ func (m *Machine) Sockets() int {
 	return n
 }
 
+// SetFaultPlan arms a fault plan for subsequent Run calls (nil or an empty
+// plan disarms injection). The plan is validated against the world size so
+// a misaddressed fault fails loudly here rather than silently never firing.
+func (m *Machine) SetFaultPlan(pl *fault.Plan) error {
+	if pl.Empty() {
+		m.inject = nil
+		return nil
+	}
+	if err := pl.Validate(m.Size()); err != nil {
+		return err
+	}
+	m.inject = fault.NewInjector(pl)
+	return nil
+}
+
+// Injector returns the active fault injector (nil when no plan is armed).
+func (m *Machine) Injector() *fault.Injector { return m.inject }
+
 // Run executes body once per rank under the discrete-event engine and
 // returns the simulated makespan (max clock over all ranks). Resources and
 // cache residency persist across calls; counters are NOT reset (snapshot
 // them around Run if needed).
+//
+// A failed run — deadlock, watchdog-detected livelock, or a panic in any
+// rank's body (including injected crashes) — returns a *RunError carrying
+// per-rank diagnostics and, when a fault plan is armed, the faults that
+// fired. Run never hangs on a livelocked program and never lets a rank's
+// panic escape unattributed.
 func (m *Machine) Run(body func(r *Rank)) (makespan float64, err error) {
 	e := sim.NewEngine()
+	switch {
+	case m.Watchdog > 0:
+		e.SetWatchdog(m.Watchdog)
+	case m.Watchdog == 0:
+		e.SetWatchdog(sim.DefaultWatchdogSwitches)
+	}
+	m.rankOps = make([]string, m.Size())
+	inj := m.inject
+	if inj != nil {
+		inj.BeginRun(m.Size())
+	}
 	for i := range m.RankCores {
 		i := i
-		e.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+		p := e.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
 			body(&Rank{proc: p, machine: m, id: i})
 		})
+		if inj != nil {
+			if f := inj.SlowdownFor(i); f > 0 {
+				p.SetSlowdown(f)
+			}
+			if s, ok := inj.StallFor(i); ok {
+				reason := fmt.Sprintf("fault: injected stall (plan %q)", inj.Plan().Name)
+				if s.Crash {
+					reason = fmt.Sprintf("plan %q", inj.Plan().Name)
+				}
+				p.InjectStallAt(s.At, s.Crash, reason)
+			}
+		}
 	}
-	if err := e.Run(); err != nil {
-		return 0, err
+	defer func() {
+		if r := recover(); r != nil {
+			pp, ok := r.(*sim.ProcPanic)
+			if !ok {
+				panic(r) // not a proc failure: engine misuse, re-raise
+			}
+			makespan = 0
+			err = m.wrapRunError(pp)
+		}
+	}()
+	if rerr := e.Run(); rerr != nil {
+		return 0, m.wrapRunError(rerr)
 	}
 	return e.MaxClock(), nil
 }

@@ -140,6 +140,48 @@ func (r *Rank) recvCommon(c *Comm, src int, n int64, consume func(ch *chanState,
 	ch.consumed.Set(r.proc, uint64(ch.msgsRcvd))
 }
 
+// RecvTimeout is Recv with a per-chunk virtual-time bound: if the sender
+// fails to publish the next chunk within timeout virtual seconds, the
+// receive gives up and returns a *TimeoutError recording how much of the
+// message had arrived — distinguishing "sender never showed up" (0 of n)
+// from "sender died mid-message". On timeout the channel is left
+// mid-message and must not be reused; the run is expected to end with this
+// diagnosis. Returns nil once the full message has been received.
+func (r *Rank) RecvTimeout(c *Comm, src int, buf *memmodel.Buffer, off, n int64, kind memmodel.StoreKind, timeout float64) error {
+	me := c.CommRank(r.id)
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in comm %s", r.id, c.Name()))
+	}
+	if src == me {
+		panic("mpi: recv from self")
+	}
+	if n <= 0 {
+		panic("mpi: recv of non-positive length")
+	}
+	ch := c.channel(src, me, n)
+	for done := int64(0); done < n; {
+		k := min64(ch.chunk, n-done)
+		if !ch.produced.WaitTimeout(r.proc, r.Core(), uint64(ch.rcvd+1), timeout) {
+			return &TimeoutError{
+				Rank:    r.id,
+				Op:      r.Op(),
+				Comm:    c.Name(),
+				Src:     c.GlobalRank(src),
+				Done:    done,
+				Total:   n,
+				Timeout: timeout,
+				Clock:   r.Now(),
+			}
+		}
+		r.CopyElems(buf, off+done, ch.staging, done, k, kind)
+		ch.rcvd++
+		done += k
+	}
+	ch.msgsRcvd++
+	ch.consumed.Set(r.proc, uint64(ch.msgsRcvd))
+	return nil
+}
+
 // RecvCombine receives n elements from comm rank src and writes
 // dst = op(other, incoming) without intermediate copies — the fused
 // first-accumulation of ring reduce-scatter (incoming partial + own send

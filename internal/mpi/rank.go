@@ -44,6 +44,33 @@ func (r *Rank) Proc() *sim.Proc { return r.proc }
 // Now returns this rank's virtual time.
 func (r *Rank) Now() float64 { return r.proc.Now() }
 
+// SetOp declares the collective operation this rank is currently executing
+// (e.g. "allreduce/ring"), purely for failure diagnostics: a RunError's
+// per-rank status names the op each rank died or hung inside.
+func (r *Rank) SetOp(name string) {
+	if r.id >= 0 && r.id < len(r.machine.rankOps) {
+		r.machine.rankOps[r.id] = name
+	}
+}
+
+// Op returns the operation last declared via SetOp.
+func (r *Rank) Op() string {
+	if r.id >= 0 && r.id < len(r.machine.rankOps) {
+		return r.machine.rankOps[r.id]
+	}
+	return ""
+}
+
+// corrupt gives an armed fault injector its shot at this rank's write into
+// a shared buffer (bit-flip corruption lands after the rank computes its
+// store values and before any peer can read them). Healthy runs pay one nil
+// compare.
+func (r *Rank) corrupt(dst *memmodel.Buffer, dOff, n int64) {
+	if inj := r.machine.inject; inj != nil && dst.Space == memmodel.Shared && dst.Real() {
+		inj.CorruptShared(r.id, r.proc.Now(), dst.Name, dst.Slice(dOff, n))
+	}
+}
+
 // Compute advances this rank's clock by dt seconds of local computation.
 func (r *Rank) Compute(dt float64) { r.proc.Advance(dt) }
 
@@ -100,6 +127,7 @@ func (r *Rank) CopyElems(dst *memmodel.Buffer, dOff int64, src *memmodel.Buffer,
 	src.CheckRange(sOff, n)
 	if dst.Real() && src.Real() {
 		copy(dst.Slice(dOff, n), src.Slice(sOff, n))
+		r.corrupt(dst, dOff, n)
 	}
 	m := r.machine.Model
 	m.Copy(r.proc, r.Core(), dst, dOff, src, sOff, n, kind)
@@ -119,6 +147,7 @@ func (r *Rank) AccumulateElems(dst *memmodel.Buffer, dOff int64, src *memmodel.B
 	src.CheckRange(sOff, n)
 	if dst.Real() && src.Real() {
 		op.Apply(dst.Slice(dOff, n), src.Slice(sOff, n))
+		r.corrupt(dst, dOff, n)
 	}
 	m := r.machine.Model
 	m.Accumulate(r.proc, r.Core(), dst, dOff, src, sOff, n, kind)
@@ -136,6 +165,7 @@ func (r *Rank) CombineElems(out *memmodel.Buffer, oOff int64, a *memmodel.Buffer
 	b.CheckRange(bOff, n)
 	if out.Real() && a.Real() && b.Real() {
 		op.Combine(out.Slice(oOff, n), a.Slice(aOff, n), b.Slice(bOff, n))
+		r.corrupt(out, oOff, n)
 	}
 	m := r.machine.Model
 	m.Combine(r.proc, r.Core(), out, oOff, a, aOff, b, bOff, n, kind)

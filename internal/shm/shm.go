@@ -82,6 +82,15 @@ func (f *Flag) Wait(p *sim.Proc, waiterCore int, v uint64) {
 	p.Wait(f.f, v, f.model.SyncLatency(waiterCore, f.ownerCore))
 }
 
+// WaitTimeout is Wait bounded by a virtual-time deadline: it reports false
+// if the flag has not reached v within timeout virtual seconds, resuming
+// the waiter at exactly the deadline instead of hanging. The timeout is a
+// discrete virtual-time event, so runs stay replayable.
+func (f *Flag) WaitTimeout(p *sim.Proc, waiterCore int, v uint64, timeout float64) bool {
+	f.model.CountSync()
+	return p.WaitTimeout(f.f, v, f.model.SyncLatency(waiterCore, f.ownerCore), timeout)
+}
+
 // Barrier synchronizes a fixed group of cores. The release latency models a
 // flag-tree barrier: 2*ceil(log2(parties)) one-way flag propagations at the
 // worst pairwise distance among the participants.
@@ -91,10 +100,12 @@ type Barrier struct {
 	latency float64
 }
 
-// NewBarrier builds a barrier over the given cores.
-func NewBarrier(model *memmodel.Model, name string, cores []int) *Barrier {
+// NewBarrier builds a barrier over the given cores. It returns an error for
+// an empty core set — the one caller misuse that used to panic from deep
+// inside a collective with no indication of which communicator was at fault.
+func NewBarrier(model *memmodel.Model, name string, cores []int) (*Barrier, error) {
 	if len(cores) == 0 {
-		panic("shm: barrier over empty core set")
+		return nil, fmt.Errorf("shm: barrier %q over empty core set", name)
 	}
 	worst := 0.0
 	for _, a := range cores {
@@ -112,7 +123,17 @@ func NewBarrier(model *memmodel.Model, name string, cores []int) *Barrier {
 		b:       sim.NewBarrier(name, len(cores)),
 		model:   model,
 		latency: 2 * float64(depth) * worst,
+	}, nil
+}
+
+// MustBarrier is NewBarrier for callers whose core set is known non-empty
+// by construction (e.g. a communicator's own members).
+func MustBarrier(model *memmodel.Model, name string, cores []int) *Barrier {
+	b, err := NewBarrier(model, name, cores)
+	if err != nil {
+		panic(err)
 	}
+	return b
 }
 
 // Arrive blocks until all participants arrive; everyone leaves at

@@ -78,8 +78,8 @@ func TestFlagChargesCoherenceLatency(t *testing.T) {
 
 func TestBarrierLatencyScalesWithLogP(t *testing.T) {
 	m := testModel()
-	bSmall := NewBarrier(m, "b2", []int{0, 1})
-	bBig := NewBarrier(m, "b32", intRange(32))
+	bSmall := MustBarrier(m, "b2", []int{0, 1})
+	bBig := MustBarrier(m, "b32", intRange(32))
 	e := sim.NewEngine()
 	var t2 float64
 	for i := 0; i < 2; i++ {
@@ -109,8 +109,8 @@ func TestBarrierLatencyScalesWithLogP(t *testing.T) {
 
 func TestBarrierCrossSocketCostsMore(t *testing.T) {
 	m := testModel()
-	intra := NewBarrier(m, "intra", []int{0, 1, 2, 3})
-	inter := NewBarrier(m, "inter", []int{0, 1, 32, 33})
+	intra := MustBarrier(m, "intra", []int{0, 1, 2, 3})
+	inter := MustBarrier(m, "inter", []int{0, 1, 32, 33})
 	run := func(b *Barrier, parties int) float64 {
 		e := sim.NewEngine()
 		var end float64
@@ -127,6 +127,57 @@ func TestBarrierCrossSocketCostsMore(t *testing.T) {
 	}
 	if ti, tx := run(intra, 4), run(inter, 4); tx <= ti {
 		t.Errorf("cross-socket barrier (%g) should cost more than intra (%g)", tx, ti)
+	}
+}
+
+// TestBarrierEmptyCoreSet pins the regression: an empty core set used to
+// panic from inside NewBarrier; it now returns a descriptive error naming
+// the barrier, and MustBarrier panics with that same error.
+func TestBarrierEmptyCoreSet(t *testing.T) {
+	m := testModel()
+	b, err := NewBarrier(m, "world/barrier", nil)
+	if b != nil || err == nil {
+		t.Fatalf("NewBarrier(empty) = %v, %v; want nil, error", b, err)
+	}
+	want := `shm: barrier "world/barrier" over empty core set`
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustBarrier(empty) should panic")
+		}
+		if perr, ok := r.(error); !ok || perr.Error() != want {
+			t.Errorf("MustBarrier panic = %v, want %q", r, want)
+		}
+	}()
+	MustBarrier(m, "world/barrier", nil)
+}
+
+func TestFlagWaitTimeout(t *testing.T) {
+	m := testModel()
+	f := NewFlag(m, "f", 0)
+	e := sim.NewEngine()
+	var got, timedOut bool
+	e.Spawn("setter", func(p *sim.Proc) {
+		p.Advance(1e-6)
+		f.Set(p, 1)
+	})
+	e.Spawn("patient", func(p *sim.Proc) {
+		got = f.WaitTimeout(p, 1, 1, 1.0) // deadline far past the set
+	})
+	e.Spawn("hasty", func(p *sim.Proc) {
+		timedOut = !f.WaitTimeout(p, 2, 2, 1e-9) // threshold never reached
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("patient waiter should see the flag")
+	}
+	if !timedOut {
+		t.Error("hasty waiter should time out")
 	}
 }
 

@@ -28,7 +28,7 @@ import (
 	"fmt"
 	"iter"
 	"math"
-	"sort"
+	"runtime/debug"
 	"strings"
 )
 
@@ -95,6 +95,95 @@ type Proc struct {
 
 	// seq breaks clock ties deterministically (FIFO by last-yield order).
 	seq uint64
+
+	// fault carries injected fault state (nil in healthy runs, so the
+	// Advance hot path pays a single pointer compare).
+	fault *procFault
+
+	// timerSeq identifies this proc's pending bounded-wait timer (0 when
+	// none); timedOut reports whether the last blockTimeout expired.
+	timerSeq uint64
+	timedOut bool
+}
+
+// procFault is the per-proc injected-fault state. Slowdown stretches every
+// Advance; the stall/crash trigger fires once when the clock first reaches
+// stallAt. All decisions are functions of virtual time only, so injected
+// runs replay bit-identically.
+type procFault struct {
+	slowdown   float64 // multiplier applied to Advance durations (0 = none)
+	stallArmed bool
+	stallAt    float64
+	crash      bool
+	reason     string
+}
+
+// maybeFire triggers the armed stall or crash once the proc's clock has
+// reached the programmed virtual time.
+func (f *procFault) maybeFire(p *Proc) {
+	if !f.stallArmed || p.clock < f.stallAt {
+		return
+	}
+	f.stallArmed = false
+	if f.crash {
+		panic(&InjectedCrash{Reason: f.reason, Clock: p.clock})
+	}
+	p.block(stalledOn{reason: f.reason})
+}
+
+// stalledOn is the permanent blocker of a fault-injected stalled proc; the
+// deadlock diagnosis renders its reason so the victim is named.
+type stalledOn struct{ reason string }
+
+func (s stalledOn) blockedReason(p *Proc) string {
+	if s.reason == "" {
+		return "fault: injected stall"
+	}
+	return s.reason
+}
+
+// InjectedCrash is the panic value of a fault-injected crash. It unwinds
+// the victim's body like any real panic, so the engine's attribution and
+// teardown paths are exercised identically.
+type InjectedCrash struct {
+	Reason string
+	Clock  float64
+}
+
+func (c *InjectedCrash) Error() string {
+	if c.Reason == "" {
+		return fmt.Sprintf("fault: injected crash at t=%g", c.Clock)
+	}
+	return fmt.Sprintf("fault: injected crash at t=%g: %s", c.Clock, c.Reason)
+}
+
+// SetSlowdown makes every subsequent Advance of this proc take factor times
+// as long in virtual time (a deterministic straggler). factor must be
+// positive; 1 restores full speed.
+func (p *Proc) SetSlowdown(factor float64) {
+	if factor <= 0 || math.IsNaN(factor) {
+		panic(fmt.Sprintf("sim: proc %q slowdown factor %v must be positive", p.name, factor))
+	}
+	if p.fault == nil {
+		p.fault = &procFault{}
+	}
+	p.fault.slowdown = factor
+}
+
+// InjectStallAt arranges for the proc to stall (block forever, diagnosed by
+// the deadlock report) or, with crash, to panic with an InjectedCrash, the
+// first time its virtual clock reaches t.
+func (p *Proc) InjectStallAt(t float64, crash bool, reason string) {
+	if t < 0 || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: proc %q stall time %v must be non-negative", p.name, t))
+	}
+	if p.fault == nil {
+		p.fault = &procFault{}
+	}
+	p.fault.stallArmed = true
+	p.fault.stallAt = t
+	p.fault.crash = crash
+	p.fault.reason = reason
 }
 
 // ID returns the process id assigned at spawn time (dense, starting at 0).
@@ -109,11 +198,20 @@ func (p *Proc) Now() float64 { return p.clock }
 // Advance moves the process's virtual clock forward by dt seconds and yields
 // to the engine so that other processes with earlier clocks may run.
 // Negative or NaN dt panics: the cost model must never produce one.
+// An injected slowdown stretches dt; an armed stall/crash fires here.
 func (p *Proc) Advance(dt float64) {
 	if dt < 0 || math.IsNaN(dt) {
 		panic(fmt.Sprintf("sim: proc %q advanced by invalid dt %v", p.name, dt))
 	}
-	p.clock += dt
+	if f := p.fault; f != nil {
+		if f.slowdown > 0 {
+			dt *= f.slowdown
+		}
+		p.clock += dt
+		f.maybeFire(p)
+	} else {
+		p.clock += dt
+	}
 	p.yield()
 }
 
@@ -122,7 +220,21 @@ func (p *Proc) AdvanceTo(t float64) {
 	if t > p.clock {
 		p.clock = t
 	}
+	if f := p.fault; f != nil {
+		f.maybeFire(p)
+	}
 	p.yield()
+}
+
+// State returns the proc's lifecycle state (diagnostics).
+func (p *Proc) State() State { return p.state }
+
+// BlockedReason renders what a Blocked proc is waiting for ("" otherwise).
+func (p *Proc) BlockedReason() string {
+	if p.state == Blocked && p.blockedOn != nil {
+		return p.blockedOn.blockedReason(p)
+	}
+	return ""
 }
 
 // Yield gives other processes a chance to run without advancing the clock.
@@ -171,6 +283,43 @@ func (p *Proc) block(on blocker) {
 	p.blockedOn = nil
 }
 
+// waitCanceler is implemented by blockers that must drop a waiter when its
+// bounded wait times out (otherwise a later release would unblock a proc
+// that already resumed).
+type waitCanceler interface {
+	cancelWait(p *Proc)
+}
+
+// blockTimeout is block with a virtual-time deadline: if nothing unblocks
+// the proc before the deadline, the engine wakes it at exactly deadline and
+// blockTimeout reports true. The timeout is a discrete event in virtual
+// time (no wall clock), so bounded waits replay deterministically.
+func (p *Proc) blockTimeout(on blocker, deadline float64) (timedOut bool) {
+	e := p.engine
+	e.seqGen++
+	p.timerSeq = e.seqGen
+	p.timedOut = false
+	e.timers = append(e.timers, simTimer{deadline: deadline, seq: p.timerSeq, p: p})
+	e.updateHorizon()
+	p.block(on)
+	if p.timedOut {
+		p.timedOut = false
+		p.timerSeq = 0
+		return true
+	}
+	// Woken by a normal release: cancel the pending timer.
+	for i := range e.timers {
+		if e.timers[i].p == p && e.timers[i].seq == p.timerSeq {
+			e.timers[i] = e.timers[len(e.timers)-1]
+			e.timers = e.timers[:len(e.timers)-1]
+			break
+		}
+	}
+	p.timerSeq = 0
+	e.updateHorizon()
+	return false
+}
+
 // suspend returns control to the engine loop until this proc is resumed. If
 // the engine tore the run down while the proc was suspended, the body is
 // unwound instead (deferred functions still run; the coroutine wrapper
@@ -195,6 +344,22 @@ func (p *Proc) unblock(t float64) {
 	p.engine.makeRunnable(p)
 }
 
+// simTimer is a pending bounded-wait deadline: a discrete event at a
+// virtual time, cancelled lazily (seq must still match the proc's).
+type simTimer struct {
+	deadline float64
+	seq      uint64
+	p        *Proc
+}
+
+// DefaultWatchdogSwitches is the no-progress watchdog threshold used by
+// callers that enable livelock detection without tuning it: the number of
+// consecutive scheduler switches without the minimum virtual clock
+// advancing after which the run is diagnosed as livelocked. Healthy runs
+// stay orders of magnitude below it (same-instant wake storms are bounded
+// by the proc count), so enabling the watchdog never perturbs them.
+const DefaultWatchdogSwitches = 2 << 20
+
 // Engine owns a set of Procs and schedules them in virtual-time order.
 type Engine struct {
 	procs    []*Proc
@@ -204,25 +369,69 @@ type Engine struct {
 	seqGen   uint64
 
 	// horizon caches the clock of the runnable heap's minimum (+Inf when
-	// the heap is empty): the virtual time up to which the running proc may
-	// advance without yielding. Every heap mutation refreshes it via
+	// the heap is empty), folded with the earliest pending timer deadline:
+	// the virtual time up to which the running proc may advance without
+	// yielding. Every heap or timer mutation refreshes it via
 	// updateHorizon, so the per-op yield check is one comparison.
 	horizon float64
+
+	// timers holds pending bounded-wait deadlines (usually empty; a linear
+	// scan keeps the common path allocation- and branch-free).
+	timers []simTimer
+
+	// watchdog is the no-progress threshold (0 disables detection);
+	// idleSwitches counts scheduler switches since lastMin last advanced.
+	watchdog     int
+	idleSwitches int
+	lastMin      float64
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{horizon: math.Inf(1)}
+	return &Engine{horizon: math.Inf(1), lastMin: math.Inf(-1)}
 }
 
-// updateHorizon re-derives the run-ahead horizon from the heap minimum.
-// Called after every heap mutation.
-func (e *Engine) updateHorizon() {
-	if len(e.runnable) > 0 {
-		e.horizon = e.runnable[0].clock
-	} else {
-		e.horizon = math.Inf(1)
+// SetWatchdog enables no-progress (livelock) detection: if the minimum
+// virtual clock fails to advance across n consecutive scheduler switches,
+// Run returns a *LivelockError diagnosing every proc instead of spinning
+// forever. n <= 0 disables the watchdog. The count is of discrete scheduler
+// events, not wall time, so detection is deterministic.
+func (e *Engine) SetWatchdog(n int) {
+	if n < 0 {
+		n = 0
 	}
+	e.watchdog = n
+}
+
+// earliestTimer returns the index of the earliest pending timer (deadline,
+// then seq), or -1 when none are pending.
+func (e *Engine) earliestTimer() int {
+	if len(e.timers) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(e.timers); i++ {
+		ti, tb := e.timers[i], e.timers[best]
+		if ti.deadline < tb.deadline || (ti.deadline == tb.deadline && ti.seq < tb.seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// updateHorizon re-derives the run-ahead horizon from the heap minimum and
+// the earliest timer deadline. Called after every heap or timer mutation.
+func (e *Engine) updateHorizon() {
+	h := math.Inf(1)
+	if len(e.runnable) > 0 {
+		h = e.runnable[0].clock
+	}
+	if len(e.timers) > 0 {
+		if t := e.timers[e.earliestTimer()].deadline; t < h {
+			h = t
+		}
+	}
+	e.horizon = h
 }
 
 // Spawn registers a new process with the given body. It must be called
@@ -246,6 +455,11 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 // start materializes p's coroutine. The iterator function does not run
 // until the engine first resumes the proc; a teardown before that simply
 // never starts the body (stop on an unstarted iterator is a no-op on it).
+//
+// A body panic is re-raised through iter.Pull inside the engine's next(),
+// where the raw stack no longer says which simulated proc died; it is
+// therefore wrapped in a *ProcPanic carrying the proc's name, virtual
+// clock and the original value plus stack before re-raising.
 func (p *Proc) start() {
 	p.next, p.stop = iter.Pull(func(yield func(struct{}) bool) {
 		p.suspendTo = yield
@@ -254,7 +468,13 @@ func (p *Proc) start() {
 				if _, ok := r.(killSignal); ok {
 					return // teardown unwind: the engine owns all state
 				}
-				panic(r) // re-raised by iter.Pull inside the engine's next()
+				panic(&ProcPanic{
+					ProcID:   p.id,
+					ProcName: p.name,
+					Clock:    p.clock,
+					Value:    r,
+					Stack:    debug.Stack(),
+				})
 			}
 		}()
 		p.body(p)
@@ -278,9 +498,12 @@ func (e *Engine) makeRunnable(p *Proc) {
 }
 
 // Run executes all processes to completion in virtual-time order.
-// It returns an error if the simulation deadlocks (some processes remain
-// blocked with nothing runnable) or if a process panicked. Either way, no
-// proc coroutine outlives Run: teardown unwinds every suspended proc.
+// It returns a *DeadlockError if the simulation deadlocks (some processes
+// remain blocked with nothing runnable) and a *LivelockError if the
+// watchdog detects no virtual-time progress. A process panic is re-raised
+// to the caller wrapped in a *ProcPanic attributing the failing proc.
+// Either way, no proc coroutine outlives Run: teardown unwinds every
+// suspended proc.
 func (e *Engine) Run() error {
 	if e.started {
 		return fmt.Errorf("sim: engine already ran")
@@ -291,15 +514,54 @@ func (e *Engine) Run() error {
 		e.makeRunnable(p)
 	}
 	// The scheduling loop: always resume the earliest runnable proc. A
-	// proc's panic propagates out of next() onto this goroutine; tear the
-	// other coroutines down, then re-raise it to the caller.
+	// proc's panic propagates out of next() onto this goroutine; snapshot
+	// the other procs' states for attribution, tear the coroutines down,
+	// then re-raise it to the caller.
 	defer func() {
 		if r := recover(); r != nil {
+			if pp, ok := r.(*ProcPanic); ok && pp.Snapshot == nil {
+				pp.Snapshot = e.snapshot()
+			}
 			e.terminate()
 			panic(r)
 		}
 	}()
-	for len(e.runnable) > 0 {
+	for {
+		// A bounded wait whose deadline precedes every runnable proc's
+		// clock expires now: the waiter resumes at exactly its deadline.
+		if i := e.earliestTimer(); i >= 0 {
+			tm := e.timers[i]
+			if len(e.runnable) == 0 || tm.deadline < e.runnable[0].clock {
+				e.timers[i] = e.timers[len(e.timers)-1]
+				e.timers = e.timers[:len(e.timers)-1]
+				if tm.p.state == Blocked && tm.p.timerSeq == tm.seq {
+					tm.p.timedOut = true
+					if c, ok := tm.p.blockedOn.(waitCanceler); ok {
+						c.cancelWait(tm.p)
+					}
+					tm.p.unblock(tm.deadline)
+				}
+				e.updateHorizon()
+				continue
+			}
+		}
+		if len(e.runnable) == 0 {
+			break
+		}
+		if e.watchdog > 0 {
+			if min := e.runnable[0].clock; min > e.lastMin {
+				e.lastMin = min
+				e.idleSwitches = 0
+			} else if e.idleSwitches++; e.idleSwitches >= e.watchdog {
+				err := &LivelockError{
+					Switches: e.idleSwitches,
+					Clock:    e.lastMin,
+					Procs:    e.snapshot(),
+				}
+				e.terminate()
+				return err
+			}
+		}
 		p := e.runnable.pop()
 		e.updateHorizon()
 		p.state = Running
@@ -309,8 +571,7 @@ func (e *Engine) Run() error {
 		}
 	}
 	if e.finished != len(e.procs) {
-		err := fmt.Errorf("sim: deadlock, %d of %d procs blocked: %s",
-			len(e.procs)-e.finished, len(e.procs), e.blockedSummary())
+		err := &DeadlockError{Total: len(e.procs), Blocked: e.blockedStatuses()}
 		e.terminate()
 		return err
 	}
@@ -330,20 +591,113 @@ func (e *Engine) terminate() {
 	}
 }
 
-// blockedSummary lists blocked processes and their reasons for diagnostics.
-func (e *Engine) blockedSummary() string {
-	var blocked []string
+// ProcStatus is the diagnostic snapshot of one proc: identity, lifecycle
+// state, virtual clock, and (for blocked procs) what it is waiting on.
+type ProcStatus struct {
+	ID     int
+	Name   string
+	State  State
+	Clock  float64
+	Reason string
+}
+
+// String renders "name(reason)" for blocked procs and "name[state]"
+// otherwise.
+func (s ProcStatus) String() string {
+	if s.Reason != "" {
+		return fmt.Sprintf("%s(%s)", s.Name, s.Reason)
+	}
+	return fmt.Sprintf("%s[%s]", s.Name, s.State)
+}
+
+// snapshot captures every proc's status in spawn (id) order — a
+// deterministic ordering independent of name formatting or map iteration.
+func (e *Engine) snapshot() []ProcStatus {
+	out := make([]ProcStatus, 0, len(e.procs))
 	for _, p := range e.procs {
-		if p.state == Blocked {
-			reason := "unknown"
-			if p.blockedOn != nil {
-				reason = p.blockedOn.blockedReason(p)
+		st := ProcStatus{ID: p.id, Name: p.name, State: p.state, Clock: p.clock}
+		if p.state == Blocked && p.blockedOn != nil {
+			st.Reason = p.blockedOn.blockedReason(p)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// blockedStatuses captures only the blocked procs, in spawn order.
+func (e *Engine) blockedStatuses() []ProcStatus {
+	var out []ProcStatus
+	for _, s := range e.snapshot() {
+		if s.State == Blocked {
+			if s.Reason == "" {
+				s.Reason = "unknown"
 			}
-			blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, reason))
+			out = append(out, s)
 		}
 	}
-	sort.Strings(blocked)
-	return strings.Join(blocked, ", ")
+	return out
+}
+
+// DeadlockError reports a run in which some procs remained blocked with
+// nothing runnable. Blocked is ordered by proc spawn id, so the message is
+// stable across runs (golden-file friendly).
+type DeadlockError struct {
+	Total   int
+	Blocked []ProcStatus
+}
+
+func (e *DeadlockError) Error() string {
+	parts := make([]string, len(e.Blocked))
+	for i, s := range e.Blocked {
+		parts[i] = fmt.Sprintf("%s(%s)", s.Name, s.Reason)
+	}
+	return fmt.Sprintf("sim: deadlock, %d of %d procs blocked: %s",
+		len(e.Blocked), e.Total, strings.Join(parts, ", "))
+}
+
+// LivelockError reports a run the watchdog diagnosed as making no
+// virtual-time progress (procs kept switching without the minimum clock
+// advancing — a livelock rather than a full deadlock).
+type LivelockError struct {
+	Switches int
+	Clock    float64
+	Procs    []ProcStatus
+}
+
+func (e *LivelockError) Error() string {
+	var parts []string
+	for _, s := range e.Procs {
+		if s.State != Done {
+			parts = append(parts, s.String())
+		}
+	}
+	return fmt.Sprintf("sim: livelock, no virtual-time progress in %d scheduler switches at t=%g: %s",
+		e.Switches, e.Clock, strings.Join(parts, ", "))
+}
+
+// ProcPanic attributes a proc body's panic: which proc died, at what
+// virtual time, the original panic value and stack, and (once Run's
+// recovery handler sees it) a snapshot of every other proc's state.
+type ProcPanic struct {
+	ProcID   int
+	ProcName string
+	Clock    float64
+	Value    any
+	Stack    []byte
+	Snapshot []ProcStatus
+}
+
+func (pp *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: proc %q panicked at t=%g: %v", pp.ProcName, pp.Clock, pp.Value)
+}
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.Is/As reach through the attribution layer.
+func (pp *ProcPanic) Unwrap() error {
+	if err, ok := pp.Value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // MaxClock returns the largest clock across all processes; after Run this is

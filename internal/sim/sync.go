@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Flag is a monotonically increasing synchronization cell, modelling the
 // atomic "flag held by each process" that shared-memory collectives use to
@@ -65,6 +68,34 @@ func (p *Proc) Wait(f *Flag, v uint64, latency float64) {
 	}
 	f.waiters = append(f.waiters, flagWaiter{p: p, threshold: v, latency: latency})
 	p.block(f)
+}
+
+// WaitTimeout is Wait bounded by a virtual-time deadline of now+timeout
+// seconds: instead of hanging forever on a flag that never reaches v, the
+// waiter resumes at exactly the deadline and WaitTimeout reports false.
+// The timeout is a discrete virtual-time event, so bounded waits replay
+// deterministically; there is no wall-clock involvement.
+func (p *Proc) WaitTimeout(f *Flag, v uint64, latency, timeout float64) bool {
+	if timeout < 0 || math.IsNaN(timeout) {
+		panic(fmt.Sprintf("sim: flag %q wait with invalid timeout %v", f.name, timeout))
+	}
+	if f.val >= v {
+		p.Advance(latency)
+		return true
+	}
+	f.waiters = append(f.waiters, flagWaiter{p: p, threshold: v, latency: latency})
+	return !p.blockTimeout(f, p.clock+timeout)
+}
+
+// cancelWait drops p from the waiter list when its bounded wait expires, so
+// a later Set cannot wake a proc that already resumed.
+func (f *Flag) cancelWait(p *Proc) {
+	for i, w := range f.waiters {
+		if w.p == p {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			return
+		}
+	}
 }
 
 // blockedReason renders a waiter's condition for deadlock diagnostics.

@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test test-race race race-fast vet chaos bench bench-baseline bench-compare
+.PHONY: build test test-race race race-fast vet chaos chaos-recover ci bench bench-baseline bench-compare
+
+# Single CI entrypoint: vet, the full test suite (incl. the fast race pass),
+# then both fault-injection gates.
+ci: test chaos chaos-recover
 
 build:
 	$(GO) build ./...
@@ -31,6 +35,13 @@ vet:
 # self-validation. Exits nonzero on any undiagnosed outcome.
 chaos:
 	$(GO) run ./cmd/yhcclbench -chaos
+
+# Recovery sweep: the chaos cases re-run under the resilient supervisor.
+# Exits nonzero if anything is undiagnosed or if a transient bit-flip or
+# single-straggler plan fails to recover (retry / quarantine / shrink /
+# algorithm fallback).
+chaos-recover:
+	$(GO) run ./cmd/yhcclbench -chaos-recover
 
 # Engine + residency micro-benchmarks (text output, for quick comparisons).
 bench:

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -54,7 +55,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	plan, err := parseStraggler(*straggler)
+	plan, err := parseStraggler(*straggler, *np)
 	if err != nil {
 		fatal(err)
 	}
@@ -153,8 +154,10 @@ func algNames(collective string) []string {
 }
 
 // parseStraggler turns a "rank:factor" spec into a one-straggler fault plan
-// (nil when the spec is empty).
-func parseStraggler(s string) (*fault.Plan, error) {
+// (nil when the spec is empty). The rank must name one of the np ranks and
+// the factor must be a positive finite slowdown — a spec that falls outside
+// those bounds is rejected here rather than silently arming nothing.
+func parseStraggler(s string, np int) (*fault.Plan, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -166,9 +169,15 @@ func parseStraggler(s string) (*fault.Plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad -straggler rank %q", parts[0])
 	}
+	if rank < 0 || rank >= np {
+		return nil, fmt.Errorf("-straggler rank %d outside 0..%d (np=%d)", rank, np-1, np)
+	}
 	factor, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil {
 		return nil, fmt.Errorf("bad -straggler factor %q", parts[1])
+	}
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor <= 0 {
+		return nil, fmt.Errorf("-straggler factor %v must be positive and finite", factor)
 	}
 	return &fault.Plan{
 		Name:       "cli-straggler",

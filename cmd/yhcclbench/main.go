@@ -10,6 +10,7 @@
 //	yhcclbench -exp all -csv out/    # also write out/<id>.csv per experiment
 //	yhcclbench -exp fig9a -cpuprofile cpu.prof
 //	yhcclbench -chaos                # fault-injection sweep (exit 1 on undiagnosed)
+//	yhcclbench -chaos-recover        # supervised recovery sweep (exit 1 on gate violation)
 package main
 
 import (
@@ -26,18 +27,25 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		quick   = flag.Bool("quick", false, "trimmed sweeps for smoke runs")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		csvDir  = flag.String("csv", "", "directory to write one <id>.csv per experiment (created if missing)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		chaosF  = flag.Bool("chaos", false, "run the fault-injection chaos sweep and exit (nonzero if any case is undiagnosed)")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		quick    = flag.Bool("quick", false, "trimmed sweeps for smoke runs")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir   = flag.String("csv", "", "directory to write one <id>.csv per experiment (created if missing)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		chaosF   = flag.Bool("chaos", false, "run the fault-injection chaos sweep and exit (nonzero if any case is undiagnosed)")
+		recoverF = flag.Bool("chaos-recover", false, "run the chaos sweep under the resilient supervisor and exit (nonzero on any recovery-gate violation)")
 	)
 	flag.Parse()
 
 	if *chaosF {
 		if bad := chaos.Report(os.Stdout, chaos.Sweep(chaos.DefaultCases())); bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *recoverF {
+		if bad := chaos.ReportRecovery(os.Stdout, chaos.SweepRecover(chaos.DefaultCases())); bad > 0 {
 			os.Exit(1)
 		}
 		return

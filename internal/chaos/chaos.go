@@ -135,8 +135,19 @@ type caseBody struct {
 	verr error
 }
 
+// body binds the case at the head of its fallback chain with the canonical
+// fill pattern — the shape the plain (diagnose-only) sweep runs.
 func (c Case) body(m *mpi.Machine) (*caseBody, error) {
-	bases := coll.SumBases(c.Ranks)
+	return c.bind(m, 0, 0)
+}
+
+// bind builds the case's per-rank body for the given machine (whose size
+// may differ from c.Ranks after a communicator shrink), fallback depth
+// along the collective's resilient chain, and fill-pattern salt. Depth 0
+// with salt 0 dispatches exactly what the plain sweep runs.
+func (c Case) bind(m *mpi.Machine, depth, salt int) (*caseBody, error) {
+	p := m.Size()
+	bases := coll.SumBasesSalted(p, salt)
 	b := &caseBody{}
 	check := func(err error) {
 		if err != nil && b.verr == nil {
@@ -144,72 +155,73 @@ func (c Case) body(m *mpi.Machine) (*caseBody, error) {
 		}
 	}
 	n := c.Elems
-	opName := c.Collective + "/" + c.Algo
+	o := coll.Options{FallbackDepth: depth}
 	switch c.Collective {
 	case "allreduce":
-		f, err := coll.Lookup(coll.AllreduceAlgos, c.Algo)
+		name, alg, err := coll.ResilientAR(c.Algo, o)
 		if err != nil {
 			return nil, err
 		}
-		alg := coll.InstrumentAR(c.Algo, f)
+		opName := c.Collective + "/" + name
 		b.run = func(r *mpi.Rank) {
 			sb := r.NewBuffer("sb", n)
 			rb := r.NewBuffer("rb", n)
 			r.FillPattern(sb, bases[r.ID()])
-			alg(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			alg(r, r.World(), sb, rb, n, mpi.Sum, o)
 			check(coll.ValidateAllreduceSum(opName, r.ID(), rb, n, bases))
 		}
 	case "reduce-scatter":
-		f, err := coll.Lookup(coll.ReduceScatterAlgos, c.Algo)
+		name, alg, err := coll.ResilientRS(c.Algo, o)
 		if err != nil {
 			return nil, err
 		}
-		alg := coll.InstrumentRS(c.Algo, f)
+		opName := c.Collective + "/" + name
 		b.run = func(r *mpi.Rank) {
-			sb := r.NewBuffer("sb", int64(c.Ranks)*n)
+			sb := r.NewBuffer("sb", int64(p)*n)
 			rb := r.NewBuffer("rb", n)
 			r.FillPattern(sb, bases[r.ID()])
-			alg(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			alg(r, r.World(), sb, rb, n, mpi.Sum, o)
 			check(coll.ValidateReduceScatterSum(opName, r.ID(), rb, n, bases))
 		}
 	case "reduce":
-		f, err := coll.Lookup(coll.ReduceAlgos, c.Algo)
+		name, alg, err := coll.ResilientReduce(c.Algo, o)
 		if err != nil {
 			return nil, err
 		}
-		alg := coll.InstrumentReduce(c.Algo, f)
+		opName := c.Collective + "/" + name
 		b.run = func(r *mpi.Rank) {
 			sb := r.NewBuffer("sb", n)
 			rb := r.NewBuffer("rb", n)
 			r.FillPattern(sb, bases[r.ID()])
-			alg(r, r.World(), sb, rb, n, mpi.Sum, 0, coll.Options{})
+			alg(r, r.World(), sb, rb, n, mpi.Sum, 0, o)
 			check(coll.ValidateReduceSum(opName, r.ID(), 0, rb, n, bases))
 		}
 	case "bcast":
-		f, err := coll.Lookup(coll.BcastAlgos, c.Algo)
+		name, alg, err := coll.ResilientBcast(c.Algo, o)
 		if err != nil {
 			return nil, err
 		}
-		alg := coll.InstrumentBcast(c.Algo, f)
+		opName := c.Collective + "/" + name
+		rootBase := 777 + float64(salt*17)
 		b.run = func(r *mpi.Rank) {
 			buf := r.NewBuffer("buf", n)
 			if r.ID() == 0 {
-				r.FillPattern(buf, 777)
+				r.FillPattern(buf, rootBase)
 			}
-			alg(r, r.World(), buf, n, 0, coll.Options{})
-			check(coll.ValidateBcast(opName, r.ID(), buf, n, 777))
+			alg(r, r.World(), buf, n, 0, o)
+			check(coll.ValidateBcast(opName, r.ID(), buf, n, rootBase))
 		}
 	case "allgather":
-		f, err := coll.Lookup(coll.AllgatherAlgos, c.Algo)
+		name, alg, err := coll.ResilientAG(c.Algo, o)
 		if err != nil {
 			return nil, err
 		}
-		alg := coll.InstrumentAG(c.Algo, f)
+		opName := c.Collective + "/" + name
 		b.run = func(r *mpi.Rank) {
 			sb := r.NewBuffer("sb", n)
-			rb := r.NewBuffer("rb", int64(c.Ranks)*n)
+			rb := r.NewBuffer("rb", int64(p)*n)
 			r.FillPattern(sb, bases[r.ID()])
-			alg(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			alg(r, r.World(), sb, rb, n, mpi.Sum, o)
 			check(coll.ValidateAllgather(opName, r.ID(), rb, n, bases))
 		}
 	default:

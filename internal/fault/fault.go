@@ -121,6 +121,143 @@ func (pl *Plan) Validate(ranks int) error {
 	return nil
 }
 
+// Class buckets a plan by the fault kinds it contains: "healthy" for an
+// empty plan, one of "straggler", "stall", "crash", "bitflip" when a single
+// kind is present, and "mixed" otherwise. The recovery gate is keyed per
+// class: transient classes (bitflip) and slow-core classes (straggler) must
+// always be recoverable, while mixed seeded plans are only required to end
+// diagnosed.
+func (pl *Plan) Class() string {
+	if pl.Empty() {
+		return "healthy"
+	}
+	kinds := make(map[string]bool, 3)
+	if len(pl.Stragglers) > 0 {
+		kinds["straggler"] = true
+	}
+	for _, s := range pl.Stalls {
+		if s.Crash {
+			kinds["crash"] = true
+		} else {
+			kinds["stall"] = true
+		}
+	}
+	if len(pl.Corruptions) > 0 {
+		kinds["bitflip"] = true
+	}
+	if len(kinds) != 1 {
+		return "mixed"
+	}
+	for k := range kinds {
+		return k
+	}
+	return "mixed"
+}
+
+// Victims returns the sorted, deduplicated set of ranks the plan targets.
+func (pl *Plan) Victims() []int {
+	if pl.Empty() {
+		return nil
+	}
+	seen := map[int]bool{}
+	for _, s := range pl.Stragglers {
+		seen[s.Rank] = true
+	}
+	for _, s := range pl.Stalls {
+		seen[s.Rank] = true
+	}
+	for _, c := range pl.Corruptions {
+		seen[c.Rank] = true
+	}
+	out := make([]int, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Restrict maps the plan onto a shrunken world: survivors lists the old rank
+// ids that remain, in their new order, so a fault on survivors[i] is
+// renumbered to rank i and faults on excluded ranks are dropped. This is how
+// a supervisor re-arms a plan after a ULFM-style communicator shrink — the
+// surviving faults keep firing, the dead rank's faults die with it.
+func (pl *Plan) Restrict(survivors []int) *Plan {
+	if pl.Empty() {
+		return nil
+	}
+	newRank := make(map[int]int, len(survivors))
+	for i, r := range survivors {
+		newRank[r] = i
+	}
+	out := &Plan{Name: pl.Name, Seed: pl.Seed}
+	for _, s := range pl.Stragglers {
+		if nr, ok := newRank[s.Rank]; ok {
+			s.Rank = nr
+			out.Stragglers = append(out.Stragglers, s)
+		}
+	}
+	for _, s := range pl.Stalls {
+		if nr, ok := newRank[s.Rank]; ok {
+			s.Rank = nr
+			out.Stalls = append(out.Stalls, s)
+		}
+	}
+	for _, c := range pl.Corruptions {
+		if nr, ok := newRank[c.Rank]; ok {
+			c.Rank = nr
+			out.Corruptions = append(out.Corruptions, c)
+		}
+	}
+	return out
+}
+
+// WithoutFiredCorruptions returns a copy of the plan with the corruption
+// dropped for every rank an event log shows already received its bit flip.
+// This is the transient-fault semantics supervised retry relies on: a
+// transient flip that landed once does not land again on the retry, so the
+// retried run can complete with a verified-correct result.
+func (pl *Plan) WithoutFiredCorruptions(events []Event) *Plan {
+	if pl.Empty() {
+		return pl
+	}
+	fired := map[int]bool{}
+	for _, ev := range events {
+		if ev.Kind == "bitflip" {
+			fired[ev.Rank] = true
+		}
+	}
+	if len(fired) == 0 {
+		return pl
+	}
+	out := &Plan{Name: pl.Name, Seed: pl.Seed,
+		Stragglers: pl.Stragglers, Stalls: pl.Stalls}
+	for _, c := range pl.Corruptions {
+		if !fired[c.Rank] {
+			out.Corruptions = append(out.Corruptions, c)
+		}
+	}
+	return out
+}
+
+// WithoutStraggler returns a copy of the plan with the given rank's
+// straggler dropped — used after a quarantine remaps the rank off its slow
+// core, so a later re-arming of the plan does not chase the rank onto its
+// healthy spare.
+func (pl *Plan) WithoutStraggler(rank int) *Plan {
+	if pl.Empty() {
+		return pl
+	}
+	out := &Plan{Name: pl.Name, Seed: pl.Seed,
+		Stalls: pl.Stalls, Corruptions: pl.Corruptions}
+	for _, s := range pl.Stragglers {
+		if s.Rank != rank {
+			out.Stragglers = append(out.Stragglers, s)
+		}
+	}
+	return out
+}
+
 // Event records one fault the injector actually fired during a run, for
 // post-mortem diagnosis ("was the wrong answer the injected flip, or a real
 // bug?").
@@ -183,6 +320,15 @@ func (in *Injector) SlowdownFor(rank int) float64 {
 		}
 	}
 	return 0
+}
+
+// LogStraggler records that a straggler slowdown was armed on the given
+// rank. The machine layer arms slowdowns by physical core (so quarantining
+// a rank onto a spare core escapes them) and reports the firing here; the
+// event format matches what SlowdownFor logs.
+func (in *Injector) LogStraggler(rank int, factor float64) {
+	in.log(Event{Kind: "straggler", Rank: rank,
+		Detail: fmt.Sprintf("virtual time stretched x%g", factor)})
 }
 
 // StallFor returns the stall scheduled for rank, if any.

@@ -209,6 +209,117 @@ func TestGenPlanCoversAllKinds(t *testing.T) {
 	}
 }
 
+func TestPlanClass(t *testing.T) {
+	cases := []struct {
+		plan *Plan
+		want string
+	}{
+		{nil, "healthy"},
+		{&Plan{}, "healthy"},
+		{&Plan{Stragglers: []Straggler{{Rank: 0, Factor: 2}}}, "straggler"},
+		{&Plan{Stalls: []Stall{{Rank: 0}}}, "stall"},
+		{&Plan{Stalls: []Stall{{Rank: 0, Crash: true}}}, "crash"},
+		{&Plan{Corruptions: []Corruption{{Rank: 0}}}, "bitflip"},
+		{&Plan{Stragglers: []Straggler{{Rank: 0, Factor: 2}},
+			Corruptions: []Corruption{{Rank: 1}}}, "mixed"},
+		{&Plan{Stalls: []Stall{{Rank: 0}, {Rank: 1, Crash: true}}}, "mixed"},
+	}
+	for _, c := range cases {
+		if got := c.plan.Class(); got != c.want {
+			t.Errorf("Class(%v) = %q, want %q", c.plan, got, c.want)
+		}
+	}
+}
+
+func TestPlanVictims(t *testing.T) {
+	pl := &Plan{
+		Stragglers:  []Straggler{{Rank: 5, Factor: 2}},
+		Stalls:      []Stall{{Rank: 1}},
+		Corruptions: []Corruption{{Rank: 5}, {Rank: 3}},
+	}
+	if got := pl.Victims(); !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Errorf("Victims() = %v, want [1 3 5]", got)
+	}
+	if (&Plan{}).Victims() != nil {
+		t.Error("empty plan has victims")
+	}
+}
+
+func TestPlanRestrict(t *testing.T) {
+	pl := &Plan{
+		Name:        "r",
+		Stragglers:  []Straggler{{Rank: 0, Factor: 2}, {Rank: 3, Factor: 4}},
+		Stalls:      []Stall{{Rank: 2, At: 0.5}},
+		Corruptions: []Corruption{{Rank: 1, Bit: 5}},
+	}
+	// Rank 2 excluded: survivors 0,1,3 become new ranks 0,1,2.
+	got := pl.Restrict([]int{0, 1, 3})
+	want := &Plan{
+		Name:        "r",
+		Stragglers:  []Straggler{{Rank: 0, Factor: 2}, {Rank: 2, Factor: 4}},
+		Corruptions: []Corruption{{Rank: 1, Bit: 5}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Restrict = %v, want %v", got, want)
+	}
+	if err := got.Validate(3); err != nil {
+		t.Errorf("restricted plan invalid: %v", err)
+	}
+	if (&Plan{}).Restrict([]int{0}) != nil {
+		t.Error("restricting an empty plan should give nil")
+	}
+}
+
+func TestPlanWithoutFiredCorruptions(t *testing.T) {
+	pl := &Plan{
+		Name:        "t",
+		Stragglers:  []Straggler{{Rank: 0, Factor: 2}},
+		Corruptions: []Corruption{{Rank: 1, Bit: 5}, {Rank: 2, Bit: 6}},
+	}
+	got := pl.WithoutFiredCorruptions([]Event{
+		{Kind: "bitflip", Rank: 1},
+		{Kind: "straggler", Rank: 2}, // non-flip events must not drop rank 2's flip
+	})
+	if len(got.Corruptions) != 1 || got.Corruptions[0].Rank != 2 {
+		t.Errorf("corruptions after drop = %v, want only rank 2", got.Corruptions)
+	}
+	if len(got.Stragglers) != 1 {
+		t.Error("stragglers must survive the drop")
+	}
+	// No fired flips: plan returned unchanged (same pointer is fine).
+	if pl.WithoutFiredCorruptions(nil) != pl {
+		t.Error("no-op drop should return the plan unchanged")
+	}
+}
+
+func TestPlanWithoutStraggler(t *testing.T) {
+	pl := &Plan{
+		Stragglers: []Straggler{{Rank: 1, Factor: 2}, {Rank: 4, Factor: 8}},
+		Stalls:     []Stall{{Rank: 0, At: 1}},
+	}
+	got := pl.WithoutStraggler(1)
+	if len(got.Stragglers) != 1 || got.Stragglers[0].Rank != 4 {
+		t.Errorf("stragglers = %v, want only rank 4", got.Stragglers)
+	}
+	if len(got.Stalls) != 1 {
+		t.Error("stalls must survive")
+	}
+}
+
+func TestLogStragglerMatchesSlowdownForFormat(t *testing.T) {
+	pl := &Plan{Stragglers: []Straggler{{Rank: 2, Factor: 4}}}
+	a := NewInjector(pl)
+	a.BeginRun(8)
+	a.SlowdownFor(2)
+	b := NewInjector(pl)
+	b.BeginRun(8)
+	b.LogStraggler(2, 4)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Errorf("LogStraggler event %v differs from SlowdownFor event %v",
+			b.Events(), a.Events())
+	}
+}
+
 func TestPlanString(t *testing.T) {
 	pl := &Plan{
 		Name:        "demo",

@@ -33,6 +33,18 @@ type Machine struct {
 	privBufs map[int]map[string]*memmodel.Buffer
 	inject   *fault.Injector
 	rankOps  []string // op each rank last declared via SetOp, for diagnostics
+
+	// spareCores are reserved cores no rank is bound to, available for
+	// quarantine remaps. Consumed front-to-back by Quarantine.
+	spareCores []int
+	// slowCores maps a physical core to the straggler factor a fault plan
+	// assigned it. Keyed by core — not rank — so that a rank remapped off a
+	// slow core escapes the slowdown, exactly like moving a process off a
+	// thermally-throttled core.
+	slowCores map[int]float64
+	// lastClocks holds each rank's final virtual clock from the most recent
+	// successful Run, in rank order.
+	lastClocks []float64
 }
 
 // NewMachine creates a machine with p ranks block-bound to cores 0..p-1
@@ -56,27 +68,129 @@ func NewMachineWithBinding(node *topo.Node, rankCores []int, real bool) *Machine
 		Model:     memmodel.New(node, rankCores),
 		RankCores: rankCores,
 		Real:      real,
-		privBufs:  make(map[int]map[string]*memmodel.Buffer),
 	}
+	m.initComms()
+	return m
+}
+
+// NewMachineWithSpares creates a machine with p ranks block-bound to cores
+// 0..p-1 plus `spares` reserved cores (p..p+spares-1) that carry no rank but
+// can absorb one via Quarantine.
+func NewMachineWithSpares(node *topo.Node, p, spares int, real bool) *Machine {
+	if spares < 0 {
+		panic("mpi: negative spare count")
+	}
+	if p+spares > node.Cores() {
+		panic(fmt.Sprintf("mpi: %d ranks + %d spares do not fit on %s (%d cores)",
+			p, spares, node.Name, node.Cores()))
+	}
+	m := NewMachine(node, p, real)
+	m.spareCores = make([]int, spares)
+	for i := range m.spareCores {
+		m.spareCores[i] = p + i
+	}
+	return m
+}
+
+// initComms (re)builds the world and per-socket communicators and clears
+// per-rank persistent buffers for the current Model/RankCores. Called at
+// construction and again after a rebind, where the old Model's buffers and
+// flags must not leak into the new cost model.
+func (m *Machine) initComms() {
+	m.privBufs = make(map[int]map[string]*memmodel.Buffer)
 	// World communicator.
-	all := make([]int, len(rankCores))
+	all := make([]int, len(m.RankCores))
 	for i := range all {
 		all[i] = i
 	}
 	m.world = newComm(m, "world", all)
 	// Per-socket communicators.
 	bySocket := make(map[int][]int)
-	for r, core := range rankCores {
-		s := node.SocketOf(core)
+	for r, core := range m.RankCores {
+		s := m.Node.SocketOf(core)
 		bySocket[s] = append(bySocket[s], r)
 	}
-	m.sockets = make([]*Comm, node.Sockets)
-	for s := 0; s < node.Sockets; s++ {
+	m.sockets = make([]*Comm, m.Node.Sockets)
+	for s := 0; s < m.Node.Sockets; s++ {
 		if ranks := bySocket[s]; len(ranks) > 0 {
 			m.sockets[s] = newComm(m, fmt.Sprintf("socket%d", s), ranks)
 		}
 	}
-	return m
+}
+
+// rebind moves the machine onto a new rank-to-core binding: fresh cost model
+// (bandwidth shares depend on the binding) and fresh communicator resources.
+// Cache residency is deliberately dropped — a remapped process starts cold.
+func (m *Machine) rebind(rankCores []int) {
+	m.RankCores = rankCores
+	m.Model = memmodel.New(m.Node, rankCores)
+	m.initComms()
+}
+
+// Spares returns how many spare cores remain available for Quarantine.
+func (m *Machine) Spares() int { return len(m.spareCores) }
+
+// Quarantine remaps rank onto the next spare core, retiring the rank's old
+// core (it is NOT returned to the spare pool — it is suspect). The straggler
+// slowdown armed for the old core stays with the core, so the remapped rank
+// escapes it. Returns the core the rank now runs on.
+//
+// Communicator resources and cache residency are rebuilt from scratch, as a
+// real respawn-on-spare would: the recovered run pays cold-cache costs.
+func (m *Machine) Quarantine(rank int) (core int, err error) {
+	if rank < 0 || rank >= m.Size() {
+		return 0, fmt.Errorf("mpi: quarantine rank %d out of range [0,%d)", rank, m.Size())
+	}
+	if len(m.spareCores) == 0 {
+		return 0, fmt.Errorf("mpi: no spare core left to quarantine rank %d", rank)
+	}
+	core = m.spareCores[0]
+	m.spareCores = m.spareCores[1:]
+	cores := make([]int, m.Size())
+	copy(cores, m.RankCores)
+	cores[rank] = core
+	m.rebind(cores)
+	return core, nil
+}
+
+// Shrink builds a new machine over the survivors after excluding the given
+// ranks (ULFM MPI_Comm_shrink semantics): survivors keep their cores and are
+// renumbered 0..n-1 in old-rank order. The returned slice maps new rank ->
+// old rank. Spare cores carry over; the fault plan does not (re-arm a
+// Restricted plan on the new machine if faults should persist). The old
+// machine remains valid but shares no state with the new one.
+func (m *Machine) Shrink(exclude []int) (*Machine, []int, error) {
+	excl := make(map[int]bool, len(exclude))
+	for _, r := range exclude {
+		if r < 0 || r >= m.Size() {
+			return nil, nil, fmt.Errorf("mpi: shrink: excluded rank %d out of range [0,%d)", r, m.Size())
+		}
+		excl[r] = true
+	}
+	var survivors, cores []int
+	for r, core := range m.RankCores {
+		if !excl[r] {
+			survivors = append(survivors, r)
+			cores = append(cores, core)
+		}
+	}
+	if len(survivors) < 2 {
+		return nil, nil, fmt.Errorf("mpi: shrink leaves %d rank(s); need at least 2", len(survivors))
+	}
+	nm := NewMachineWithBinding(m.Node, cores, m.Real)
+	nm.Watchdog = m.Watchdog
+	nm.spareCores = append([]int(nil), m.spareCores...)
+	return nm, survivors, nil
+}
+
+// RankClocks returns each rank's final virtual clock from the most recent
+// successful Run (nil if no run has completed). Useful as a per-rank
+// progress snapshot: a straggling rank finishes a barrier-free section late.
+func (m *Machine) RankClocks() []float64 {
+	if m.lastClocks == nil {
+		return nil
+	}
+	return append([]float64(nil), m.lastClocks...)
 }
 
 // Size returns the number of ranks.
@@ -106,12 +220,23 @@ func (m *Machine) Sockets() int {
 func (m *Machine) SetFaultPlan(pl *fault.Plan) error {
 	if pl.Empty() {
 		m.inject = nil
+		m.slowCores = nil
 		return nil
 	}
 	if err := pl.Validate(m.Size()); err != nil {
 		return err
 	}
 	m.inject = fault.NewInjector(pl)
+	m.slowCores = nil
+	if len(pl.Stragglers) > 0 {
+		// Pin each straggler factor to the PHYSICAL core the rank currently
+		// occupies. A later Quarantine leaves this map untouched, so the
+		// slowdown stays behind on the retired core.
+		m.slowCores = make(map[int]float64, len(pl.Stragglers))
+		for _, s := range pl.Stragglers {
+			m.slowCores[m.RankCores[s.Rank]] = s.Factor
+		}
+	}
 	return nil
 }
 
@@ -141,14 +266,17 @@ func (m *Machine) Run(body func(r *Rank)) (makespan float64, err error) {
 	if inj != nil {
 		inj.BeginRun(m.Size())
 	}
+	procs := make([]*sim.Proc, m.Size())
 	for i := range m.RankCores {
 		i := i
 		p := e.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
 			body(&Rank{proc: p, machine: m, id: i})
 		})
+		procs[i] = p
 		if inj != nil {
-			if f := inj.SlowdownFor(i); f > 0 {
+			if f, ok := m.slowCores[m.RankCores[i]]; ok {
 				p.SetSlowdown(f)
+				inj.LogStraggler(i, f)
 			}
 			if s, ok := inj.StallFor(i); ok {
 				reason := fmt.Sprintf("fault: injected stall (plan %q)", inj.Plan().Name)
@@ -171,6 +299,10 @@ func (m *Machine) Run(body func(r *Rank)) (makespan float64, err error) {
 	}()
 	if rerr := e.Run(); rerr != nil {
 		return 0, m.wrapRunError(rerr)
+	}
+	m.lastClocks = make([]float64, len(procs))
+	for i, p := range procs {
+		m.lastClocks[i] = p.Now()
 	}
 	return e.MaxClock(), nil
 }

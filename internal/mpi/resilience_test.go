@@ -1,0 +1,183 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"yhccl/internal/fault"
+	"yhccl/internal/topo"
+)
+
+func TestNewMachineWithSpares(t *testing.T) {
+	m := NewMachineWithSpares(topo.NodeA(), 8, 4, false)
+	if m.Size() != 8 {
+		t.Fatalf("size = %d, want 8", m.Size())
+	}
+	if m.Spares() != 4 {
+		t.Fatalf("spares = %d, want 4", m.Spares())
+	}
+	// Spares occupy cores just above the rank block.
+	for i, c := range m.spareCores {
+		if c != 8+i {
+			t.Fatalf("spare %d on core %d, want %d", i, c, 8+i)
+		}
+	}
+}
+
+func TestNewMachineWithSparesOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMachineWithSpares(topo.NodeA(), 62, 3, false)
+}
+
+func TestQuarantineRemapsOntoSpare(t *testing.T) {
+	m := NewMachineWithSpares(topo.NodeA(), 4, 2, false)
+	core, err := m.Quarantine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core != 4 {
+		t.Fatalf("quarantined onto core %d, want 4", core)
+	}
+	if m.RankCores[1] != 4 {
+		t.Fatalf("rank 1 bound to core %d, want 4", m.RankCores[1])
+	}
+	if m.Spares() != 1 {
+		t.Fatalf("spares after quarantine = %d, want 1", m.Spares())
+	}
+	// Machine still runs cleanly with the new binding.
+	if _, err := m.Run(func(r *Rank) {
+		if r.ID() == 1 && r.Core() != 4 {
+			t.Errorf("rank 1 runs on core %d", r.Core())
+		}
+		r.World().Barrier().Arrive(r.Proc())
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarantineErrors(t *testing.T) {
+	m := NewMachineWithSpares(topo.NodeA(), 4, 1, false)
+	if _, err := m.Quarantine(7); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := m.Quarantine(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Quarantine(1); err == nil {
+		t.Error("quarantine with no spares left should fail")
+	}
+}
+
+func TestStragglerSlowdownStaysWithCore(t *testing.T) {
+	// Arm a straggler on rank 1, then quarantine rank 1 onto a spare. The
+	// slowdown belongs to the retired core, so the remapped rank must run at
+	// full speed: makespans before/after differ by roughly the factor.
+	body := func(r *Rank) {
+		r.Compute(1e-3)
+		r.World().Barrier().Arrive(r.Proc())
+	}
+	m := NewMachineWithSpares(topo.NodeA(), 4, 1, false)
+	pl := &fault.Plan{Name: "s", Stragglers: []fault.Straggler{{Rank: 1, Factor: 8}}}
+	if err := m.SetFaultPlan(pl); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Quarantine(1); err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast >= slow/2 {
+		t.Fatalf("quarantine did not escape the slowdown: slow=%g fast=%g", slow, fast)
+	}
+	// And no straggler event fires on the recovered run.
+	for _, ev := range m.Injector().Events() {
+		if ev.Kind == "straggler" {
+			t.Errorf("straggler event logged after quarantine: %+v", ev)
+		}
+	}
+}
+
+func TestShrinkRenumbersSurvivors(t *testing.T) {
+	m := NewMachineWithSpares(topo.NodeA(), 6, 2, false)
+	nm, survivors, err := m.Shrink([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Size() != 4 {
+		t.Fatalf("shrunken size = %d, want 4", nm.Size())
+	}
+	want := []int{0, 1, 3, 5}
+	for i, s := range survivors {
+		if s != want[i] {
+			t.Fatalf("survivors = %v, want %v", survivors, want)
+		}
+	}
+	// Survivors keep their physical cores.
+	for i, old := range want {
+		if nm.RankCores[i] != m.RankCores[old] {
+			t.Errorf("new rank %d on core %d, want old rank %d's core %d",
+				i, nm.RankCores[i], old, m.RankCores[old])
+		}
+	}
+	if nm.Spares() != 2 {
+		t.Errorf("spares not carried over: %d", nm.Spares())
+	}
+	// The shrunken world is a working communicator.
+	if _, err := nm.Run(func(r *Rank) {
+		if r.Size() != 4 {
+			t.Errorf("rank %d sees size %d", r.ID(), r.Size())
+		}
+		r.World().Barrier().Arrive(r.Proc())
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkErrors(t *testing.T) {
+	m := NewMachine(topo.NodeA(), 3, false)
+	if _, _, err := m.Shrink([]int{5}); err == nil {
+		t.Error("out-of-range exclusion accepted")
+	}
+	if _, _, err := m.Shrink([]int{0, 1}); err == nil {
+		t.Error("shrink below 2 survivors accepted")
+	} else if !strings.Contains(err.Error(), "at least 2") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRankClocksExposeStraggler(t *testing.T) {
+	m := NewMachine(topo.NodeA(), 4, false)
+	if m.RankClocks() != nil {
+		t.Fatal("clocks before any run")
+	}
+	pl := &fault.Plan{Name: "s", Stragglers: []fault.Straggler{{Rank: 2, Factor: 16}}}
+	if err := m.SetFaultPlan(pl); err != nil {
+		t.Fatal(err)
+	}
+	// Barrier-free section: each rank just computes, so final clocks diverge.
+	if _, err := m.Run(func(r *Rank) { r.Compute(1e-4) }); err != nil {
+		t.Fatal(err)
+	}
+	clocks := m.RankClocks()
+	if len(clocks) != 4 {
+		t.Fatalf("clocks = %v", clocks)
+	}
+	for i, c := range clocks {
+		if i == 2 {
+			continue
+		}
+		if clocks[2] < 4*c {
+			t.Errorf("straggler clock %g not clearly above rank %d's %g", clocks[2], i, c)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package resilient closes the loop from diagnosis to recovery: a
+// supervisor wraps mpi.Machine.Run, classifies each failure using the
+// diagnostics the fault-injection stack already produces (RunError victim
+// attribution, exact self-validation), and applies a policy chain until the
+// collective ends in a verified-correct result or the policy is exhausted:
+//
+//  1. bounded retry with deterministic virtual-time backoff — transient
+//     faults (bit flips caught by validation) are re-run with a fresh fill
+//     pattern and the fired corruption removed from the plan;
+//  2. straggler quarantine — a rank identified as slow (fault events or
+//     per-rank progress snapshots) is remapped onto a spare core, or, when
+//     no spare is left, the collective switches to a straggler-tolerant
+//     algorithm down its fallback chain;
+//  3. ULFM-style communicator shrink — on a rank crash or permanent stall
+//     the world is rebuilt over the survivors and the collective re-runs on
+//     the shrunken communicator, with the caller told which original ranks
+//     were excluded.
+//
+// Everything happens in deterministic virtual time: backoff is a modelled
+// Compute charge, remaps and shrinks are deterministic rebinds, and with no
+// faults armed the supervisor adds zero charges, so golden determinism
+// tests stay bit-identical with the supervisor attached.
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"yhccl/internal/fault"
+	"yhccl/internal/mpi"
+	"yhccl/internal/sim"
+)
+
+// Outcome classifies a supervised run by the last recovery action that was
+// needed to reach a verified-correct result (or by how recovery failed).
+type Outcome string
+
+const (
+	// CleanPass: the first attempt completed and validated.
+	CleanPass Outcome = "clean-pass"
+	// RecoveredRetry: a plain re-run (fresh fill pattern, fired transients
+	// dropped) produced a verified result.
+	RecoveredRetry Outcome = "recovered-after-retry"
+	// RecoveredRemap: quarantining a slow rank onto a spare core produced a
+	// verified result at full speed.
+	RecoveredRemap Outcome = "recovered-by-remap"
+	// RecoveredShrink: excluding crashed/stalled ranks and re-running over
+	// the survivor communicator produced a verified result.
+	RecoveredShrink Outcome = "recovered-by-shrink"
+	// RecoveredFallback: switching to a more conservative algorithm down the
+	// fallback chain produced a verified (possibly degraded) result.
+	RecoveredFallback Outcome = "recovered-by-fallback"
+	// Unrecoverable: every applicable policy step was exhausted, but each
+	// failure was properly diagnosed (named its victim).
+	Unrecoverable Outcome = "unrecoverable-but-diagnosed"
+	// Undiagnosed: the unacceptable bucket — a failure that does not name
+	// its victim, or a wrong answer with no fault to blame.
+	Undiagnosed Outcome = "UNDIAGNOSED"
+)
+
+// Recovered reports whether o is one of the recovered-* outcomes.
+func (o Outcome) Recovered() bool {
+	switch o {
+	case RecoveredRetry, RecoveredRemap, RecoveredShrink, RecoveredFallback:
+		return true
+	}
+	return false
+}
+
+// Policy bounds the supervisor's recovery chain.
+type Policy struct {
+	// MaxAttempts caps total Run invocations (initial attempt included).
+	MaxAttempts int
+	// MaxRetries caps plain re-runs for validation-caught transients.
+	MaxRetries int
+	// BackoffBase is the virtual-time backoff unit: before attempt k (k>0)
+	// every rank is charged k*BackoffBase seconds of Compute. Attempt 0
+	// charges nothing, keeping the clean path bit-identical.
+	BackoffBase float64
+	// AllowRemap enables straggler quarantine onto spare cores.
+	AllowRemap bool
+	// AllowShrink enables communicator shrink on crash/stall.
+	AllowShrink bool
+	// MaxFallback caps how far down the algorithm fallback chain the
+	// supervisor may go (also clamped by Job.MaxDepth).
+	MaxFallback int
+	// MinSurvivors refuses shrinks that would leave fewer ranks than this.
+	MinSurvivors int
+}
+
+// DefaultPolicy returns the policy the chaos recovery sweep uses.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:  6,
+		MaxRetries:   2,
+		BackoffBase:  1e-5,
+		AllowRemap:   true,
+		AllowShrink:  true,
+		MaxFallback:  2,
+		MinSurvivors: 2,
+	}
+}
+
+// Job is a re-runnable collective task. Bind builds the per-rank body for
+// the given machine (whose size may have shrunk), fallback depth along the
+// job's algorithm chain, and fill-pattern salt; validate, called after a
+// completed run, returns the first self-validation failure (validate may be
+// nil when the job has no validation). Bind is called fresh for every
+// attempt so bodies never see stale buffers or communicators.
+type Job struct {
+	Name     string
+	MaxDepth int
+	Bind     func(m *mpi.Machine, depth, salt int) (body func(*mpi.Rank), validate func() error, err error)
+}
+
+// Attempt records one supervised Run invocation.
+type Attempt struct {
+	// Action is what the supervisor did before this attempt: "initial",
+	// "retry", "remap", "shrink", or "fallback".
+	Action string
+	// Depth and Salt are the Bind parameters used.
+	Depth, Salt int
+	// Ranks is the machine size for this attempt.
+	Ranks int
+	// Makespan of a successful run (0 on failure).
+	Makespan float64
+	// Err is the run or validation error (nil on success).
+	Err error
+	// Faults are the injector events that fired during this attempt.
+	Faults []fault.Event
+}
+
+// Report is the supervisor's verdict on a job.
+type Report struct {
+	Job      string
+	Outcome  Outcome
+	Attempts []Attempt
+	// Excluded lists the ORIGINAL rank ids removed by shrinks, in exclusion
+	// order — the caller's ULFM "who is gone" answer.
+	Excluded []int
+	// Remapped maps an original rank id to the spare core it was
+	// quarantined onto.
+	Remapped map[int]int
+	// Depth is the fallback depth of the final attempt.
+	Depth int
+	// Makespan of the final successful attempt (0 if none).
+	Makespan float64
+	// Err is the last failure when the job did not recover.
+	Err error
+	// Final is the machine the last attempt ran on (the shrunken machine
+	// after a shrink) — ranks of the final run are Final.Size().
+	Final *mpi.Machine
+}
+
+func (r Report) String() string {
+	s := fmt.Sprintf("%s: %s after %d attempt(s)", r.Job, r.Outcome, len(r.Attempts))
+	if len(r.Excluded) > 0 {
+		s += fmt.Sprintf(", excluded ranks %v", r.Excluded)
+	}
+	if len(r.Remapped) > 0 {
+		s += fmt.Sprintf(", remapped %v", r.Remapped)
+	}
+	if r.Depth > 0 {
+		s += fmt.Sprintf(", fallback depth %d", r.Depth)
+	}
+	return s
+}
+
+// Supervise runs the job under the policy until it ends in a
+// verified-correct result or the policy is exhausted. The machine's armed
+// fault plan (if any) is consulted and re-armed across retries and shrinks;
+// with no plan armed the supervisor is pass-through: one Run, no extra
+// charges, bit-identical to calling m.Run directly.
+func Supervise(m *mpi.Machine, job Job, pol Policy) Report {
+	rep := Report{Job: job.Name, Remapped: map[int]int{}}
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = 1
+	}
+	maxDepth := job.MaxDepth
+	if pol.MaxFallback < maxDepth {
+		maxDepth = pol.MaxFallback
+	}
+
+	// The active plan in the CURRENT rank numbering, and the map from
+	// current rank id to original rank id (changes across shrinks).
+	var plan *fault.Plan
+	if inj := m.Injector(); inj != nil {
+		plan = inj.Plan()
+	}
+	origOf := make([]int, m.Size())
+	for i := range origOf {
+		origOf[i] = i
+	}
+
+	salt, depth, retries := 0, 0, 0
+	lastAction := "initial"
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		body, validate, err := job.Bind(m, depth, salt)
+		if err != nil {
+			rep.Outcome, rep.Err, rep.Final = Undiagnosed, err, m
+			return rep
+		}
+		run := body
+		if attempt > 0 && pol.BackoffBase > 0 {
+			// Deterministic virtual-time backoff: modelled as compute, so it
+			// orders identically across replays and never touches wall time.
+			backoff := float64(attempt) * pol.BackoffBase
+			run = func(r *mpi.Rank) {
+				r.Compute(backoff)
+				body(r)
+			}
+		}
+		makespan, runErr := m.Run(run)
+		var verr error
+		if runErr == nil && validate != nil {
+			verr = validate()
+		}
+		var events []fault.Event
+		if inj := m.Injector(); inj != nil {
+			events = append([]fault.Event(nil), inj.Events()...)
+		}
+		at := Attempt{
+			Action: lastAction, Depth: depth, Salt: salt,
+			Ranks: m.Size(), Faults: events,
+		}
+		switch {
+		case runErr != nil:
+			at.Err = runErr
+		case verr != nil:
+			at.Err = verr
+		default:
+			at.Makespan = makespan
+		}
+		rep.Attempts = append(rep.Attempts, at)
+		rep.Depth, rep.Final = depth, m
+
+		if runErr == nil && verr == nil {
+			// Correct result — but a straggler that fired leaves the result
+			// degraded; quarantine or fall back before accepting.
+			if sr := stragglerRanks(events); len(sr) > 0 {
+				if pol.AllowRemap && m.Spares() > 0 {
+					victim := sr[0]
+					core, qerr := m.Quarantine(victim)
+					if qerr == nil {
+						rep.Remapped[origOf[victim]] = core
+						// Re-arm without the victim's straggler: the factor
+						// belongs to the retired core, and a later re-arm
+						// must not chase the rank onto its healthy spare.
+						plan = plan.WithoutStraggler(victim)
+						if err := m.SetFaultPlan(plan); err != nil {
+							rep.Outcome, rep.Err = Undiagnosed, err
+							return rep
+						}
+						lastAction = "remap"
+						continue
+					}
+				}
+				if depth < maxDepth && lastAction != "fallback" {
+					depth++
+					lastAction = "fallback"
+					continue
+				}
+				// No spare and no (further) fallback: accept the slow-but-
+				// correct result under whatever action got us here.
+			}
+			rep.Outcome, rep.Makespan = outcomeFor(lastAction), makespan
+			return rep
+		}
+
+		if verr != nil {
+			// Only a flip that actually fired makes the wrong answer a
+			// transient worth retrying; a divergence with no fault to blame
+			// is a genuine correctness bug and must stay unacceptable.
+			if len(firedFlips(events)) == 0 {
+				rep.Outcome, rep.Err = Undiagnosed, verr
+				return rep
+			}
+			// Validation caught corruption: transient. Re-run with a fresh
+			// fill pattern; the fired flip is consumed and must not re-fire.
+			if retries < pol.MaxRetries {
+				retries++
+				salt++
+				plan = plan.WithoutFiredCorruptions(events)
+				if err := m.SetFaultPlan(plan); err != nil {
+					rep.Outcome, rep.Err = Undiagnosed, err
+					return rep
+				}
+				lastAction = "retry"
+				continue
+			}
+			rep.Outcome, rep.Err = Unrecoverable, verr
+			return rep
+		}
+
+		// Run failure: recover only if the diagnosis names its victims.
+		crashed, stalled := victims(runErr)
+		gone := append(crashed, stalled...)
+		if len(gone) == 0 {
+			rep.Outcome, rep.Err = Undiagnosed, runErr
+			return rep
+		}
+		if !pol.AllowShrink || m.Size()-len(gone) < pol.MinSurvivors {
+			rep.Outcome, rep.Err = Unrecoverable, runErr
+			return rep
+		}
+		// Drop transients that already fired before restricting, so the
+		// shrunken run does not replay them.
+		nm, survivors, serr := m.Shrink(gone)
+		if serr != nil {
+			rep.Outcome, rep.Err = Unrecoverable, fmt.Errorf("%w (shrink: %v)", runErr, serr)
+			return rep
+		}
+		restricted := plan.WithoutFiredCorruptions(events).Restrict(survivors)
+		if err := nm.SetFaultPlan(restricted); err != nil {
+			rep.Outcome, rep.Err = Undiagnosed, err
+			return rep
+		}
+		for _, g := range gone {
+			rep.Excluded = append(rep.Excluded, origOf[g])
+		}
+		newOrig := make([]int, len(survivors))
+		for i, s := range survivors {
+			newOrig[i] = origOf[s]
+		}
+		origOf, plan, m = newOrig, restricted, nm
+		lastAction = "shrink"
+	}
+	rep.Outcome = Unrecoverable
+	if n := len(rep.Attempts); n > 0 && rep.Attempts[n-1].Err != nil {
+		rep.Err = rep.Attempts[n-1].Err
+	} else {
+		rep.Err = fmt.Errorf("resilient: %s: attempt budget (%d) exhausted", job.Name, pol.MaxAttempts)
+	}
+	return rep
+}
+
+// outcomeFor maps the last recovery action taken to the outcome of a
+// verified-correct final run.
+func outcomeFor(action string) Outcome {
+	switch action {
+	case "retry":
+		return RecoveredRetry
+	case "remap":
+		return RecoveredRemap
+	case "shrink":
+		return RecoveredShrink
+	case "fallback":
+		return RecoveredFallback
+	}
+	return CleanPass
+}
+
+// firedFlips returns the ranks whose bit-flip corruption actually fired.
+func firedFlips(events []fault.Event) []int {
+	var out []int
+	for _, ev := range events {
+		if ev.Kind == "bitflip" {
+			out = append(out, ev.Rank)
+		}
+	}
+	return out
+}
+
+// stragglerRanks returns the distinct ranks with straggler events, in event
+// order.
+func stragglerRanks(events []fault.Event) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if ev.Kind == "straggler" && !seen[ev.Rank] {
+			seen[ev.Rank] = true
+			out = append(out, ev.Rank)
+		}
+	}
+	return out
+}
+
+// victims extracts the injected-fault victims a failed run's diagnosis
+// names, split into crashed ranks (gone: the proc panicked with an injected
+// crash) and stalled ranks (wedged: blocked forever on an injected stall).
+// Both are excluded the same way; the split is diagnostic.
+func victims(runErr error) (crashed, stalled []int) {
+	var re *mpi.RunError
+	if !errors.As(runErr, &re) {
+		return nil, nil
+	}
+	var pp *sim.ProcPanic
+	var ic *sim.InjectedCrash
+	if errors.As(runErr, &pp) && errors.As(runErr, &ic) {
+		crashed = append(crashed, pp.ProcID)
+	}
+	for _, rs := range re.Ranks {
+		if strings.Contains(rs.Blocked, "injected stall") {
+			stalled = append(stalled, rs.Rank)
+		}
+	}
+	return crashed, stalled
+}

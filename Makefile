@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: build test test-race race race-fast vet chaos chaos-recover ci bench bench-baseline bench-compare
+.PHONY: build test test-race race race-fast vet chaos chaos-recover scale engine-compare ci bench bench-baseline bench-compare
 
 # Single CI entrypoint: vet, the full test suite (incl. the fast race pass),
-# then both fault-injection gates.
-ci: test chaos chaos-recover
+# both fault-injection gates, then the cluster-scale smoke gate.
+ci: test chaos chaos-recover scale
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,18 @@ chaos:
 # algorithm fallback).
 chaos-recover:
 	$(GO) run ./cmd/yhcclbench -chaos-recover
+
+# Cluster-scale smoke gate: 65536- and 262144-rank event-engine sweeps must
+# finish within wall-clock and per-rank allocation budgets with zero
+# goroutine growth. Exits nonzero on any violation.
+scale:
+	$(GO) run ./cmd/yhcclbench -scale-gate
+
+# Engine parity matrix: every shared config on both simulation cores, exit
+# nonzero on any makespan divergence (also runs inside `make test` via the
+# cluster package's TestEngineParity).
+engine-compare:
+	$(GO) run ./cmd/simbench -engine-compare
 
 # Engine + residency micro-benchmarks (text output, for quick comparisons).
 bench:

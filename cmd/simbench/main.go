@@ -9,6 +9,9 @@
 //	go run ./cmd/simbench -skip-fig  # micro-benchmarks only
 //	go run ./cmd/simbench -skip-fig -compare BENCH_sim.json
 //	                                 # re-run and fail on >15% regression
+//	go run ./cmd/simbench -engine-compare
+//	                                 # run the full engine parity matrix and
+//	                                 # fail on any makespan divergence
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"yhccl/internal/bench"
+	"yhccl/internal/cluster"
 	"yhccl/internal/memmodel"
 	"yhccl/internal/sim"
 	"yhccl/internal/topo"
@@ -41,6 +45,8 @@ type report struct {
 	GOOS               string            `json:"goos"`
 	GOARCH             string            `json:"goarch"`
 	NumCPU             int               `json:"num_cpu"`
+	EngineMode         string            `json:"engine_mode"`
+	EngineParityCases  int               `json:"engine_parity_cases,omitempty"`
 	Benchmarks         map[string]result `json:"benchmarks"`
 	Fig11aQuickSeconds float64           `json:"fig11a_quick_wall_seconds,omitempty"`
 }
@@ -210,6 +216,62 @@ func residencyLookup(b *testing.B) {
 	}
 }
 
+// eventPostPop drives the event calendar's push/pop hot path at a rolling
+// depth of 1024 entries — cluster-typical (one in-flight event per rank
+// wavefront).
+func eventPostPop(b *testing.B) {
+	e := sim.NewEventEngine()
+	var now sim.Tick
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Post(now+sim.Tick(i%97), int32(i&1023), 0)
+		if e.Pending() >= 1024 {
+			e.Run(func(t sim.Tick, _, _ int32) { now = t })
+		}
+	}
+}
+
+// clusterCrossoverProgram is the shared compiled schedule both program
+// benchmarks interpret: the fig16b config (16 nodes x 64 ranks, 2 MB), the
+// apples-to-apples crossover between engines.
+func clusterCrossoverProgram() sim.Program {
+	c := cluster.New(topo.NodeA(), 16, 64, cluster.IB100())
+	prog, err := c.CompileAllreduce(cluster.YHCCLHierarchical, (2<<20)/8, cluster.ScheduleOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func programEngine(kind sim.EngineKind) func(b *testing.B) {
+	return func(b *testing.B) {
+		prog := clusterCrossoverProgram()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunProgram(kind, prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// engineCompare runs both engines over the shared parity matrix and fails
+// on any makespan divergence — the gate, invocable from CI.
+func engineCompare(verbose bool) (int, error) {
+	results, err := cluster.VerifyParity(cluster.ParityCases())
+	if err != nil {
+		return 0, err
+	}
+	if verbose {
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "parity %-44s %14d ticks  %8d events\n", r.Name, r.Makespan, r.Events)
+		}
+	}
+	return len(results), nil
+}
+
 func main() {
 	os.Exit(realMain())
 }
@@ -223,8 +285,26 @@ func realMain() int {
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression for -compare")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		engine    = flag.String("engine", "event", "engine recorded as the report's mode: coroutine or event")
+		engCmp    = flag.Bool("engine-compare", false, "run the engine parity matrix (both engines, all shared configs) and exit; nonzero on divergence")
 	)
 	flag.Parse()
+
+	engineKind, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return 1
+	}
+
+	if *engCmp {
+		n, err := engineCompare(true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "simbench: %d configs, event == coroutine makespans on all\n", n)
+		return 0
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -262,6 +342,7 @@ func realMain() int {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		EngineMode: engineKind.String(),
 		Benchmarks: map[string]result{},
 	}
 	run("engine_yield", engineYield, rep.Benchmarks)
@@ -269,8 +350,19 @@ func realMain() int {
 	run("engine_flag_wait", engineFlagWait, rep.Benchmarks)
 	run("engine_barrier", engineBarrier, rep.Benchmarks)
 	run("engine_mixed", engineMixed, rep.Benchmarks)
+	run("event_post_pop", eventPostPop, rep.Benchmarks)
+	run("program_event", programEngine(sim.EngineEvent), rep.Benchmarks)
+	run("program_coroutine", programEngine(sim.EngineCoroutine), rep.Benchmarks)
 	run("residency_insert", residencyInsert, rep.Benchmarks)
 	run("residency_lookup", residencyLookup, rep.Benchmarks)
+
+	fmt.Fprintf(os.Stderr, "running engine parity matrix...\n")
+	nParity, err := engineCompare(false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		return 1
+	}
+	rep.EngineParityCases = nParity
 
 	if !*skipFig {
 		fmt.Fprintf(os.Stderr, "running fig11a quick sweep...\n")

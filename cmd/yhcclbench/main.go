@@ -11,6 +11,9 @@
 //	yhcclbench -exp fig9a -cpuprofile cpu.prof
 //	yhcclbench -chaos                # fault-injection sweep (exit 1 on undiagnosed)
 //	yhcclbench -chaos-recover        # supervised recovery sweep (exit 1 on gate violation)
+//	yhcclbench -exp fig16scale -engine event
+//	                                 # cluster-scale sweep on the event engine
+//	yhcclbench -scale-gate           # 65536+ rank smoke under wall/memory budgets (exit 1 on violation)
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 
 	"yhccl/internal/bench"
 	"yhccl/internal/chaos"
+	"yhccl/internal/sim"
 )
 
 func main() {
@@ -35,8 +39,24 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		chaosF   = flag.Bool("chaos", false, "run the fault-injection chaos sweep and exit (nonzero if any case is undiagnosed)")
 		recoverF = flag.Bool("chaos-recover", false, "run the chaos sweep under the resilient supervisor and exit (nonzero on any recovery-gate violation)")
+		engine   = flag.String("engine", "", "simulation core for scale experiments: coroutine or event (default event)")
+		scaleF   = flag.Bool("scale-gate", false, "run the cluster-scale smoke gate and exit (nonzero on any budget violation)")
 	)
 	flag.Parse()
+
+	if *engine != "" {
+		kind, err := sim.ParseEngine(*engine)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		bench.SetEngine(kind)
+	}
+	if *scaleF {
+		if err := bench.ScaleGate(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	if *chaosF {
 		if bad := chaos.Report(os.Stdout, chaos.Sweep(chaos.DefaultCases())); bad > 0 {

@@ -19,6 +19,7 @@ import (
 	"yhccl/internal/coll"
 	"yhccl/internal/memmodel"
 	"yhccl/internal/mpi"
+	"yhccl/internal/sim"
 	"yhccl/internal/topo"
 )
 
@@ -90,6 +91,9 @@ type Cluster struct {
 	// machine is the representative node, reused across calls so that
 	// communicator state persists like a real job.
 	machine *mpi.Machine
+	// engine selects the simulation core Scheduled* methods run compiled
+	// programs on (EngineCoroutine by default — the exact reference).
+	engine sim.EngineKind
 }
 
 // New builds a cluster. Model-only machines are used (timing studies).

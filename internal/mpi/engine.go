@@ -1,0 +1,19 @@
+package mpi
+
+import "yhccl/internal/sim"
+
+// RunProgram executes a compiled step program on the selected simulation
+// core and returns the simulated makespan in seconds. Unlike Run, which
+// spawns one coroutine per machine rank executing Go code against live
+// communicator state, RunProgram interprets a precompiled schedule — the
+// program's ranks are state machines, and on the event engine no goroutines
+// are created no matter how many ranks the program spans. The program may
+// therefore describe far more ranks than the machine hosts (a machine
+// stands in for one node of a compiled multi-node world).
+func (m *Machine) RunProgram(prog sim.Program, kind sim.EngineKind) (float64, error) {
+	res, err := sim.RunProgram(kind, prog)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan.Seconds(), nil
+}

@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: build test test-race race race-fast vet chaos chaos-recover scale engine-compare ci bench bench-baseline bench-compare
+.PHONY: build test test-race race race-fast vet chaos chaos-recover scale engine-compare ci bench bench-baseline bench-compare tune tune-full plan-verify
 
 # Single CI entrypoint: vet, the full test suite (incl. the fast race pass),
-# both fault-injection gates, then the cluster-scale smoke gate.
-ci: test chaos chaos-recover scale
+# both fault-injection gates, the cluster-scale smoke gate, then the
+# tuned-plan pipeline (quick-budget synthesis + the beats-or-matches gate).
+ci: test chaos chaos-recover scale tune plan-verify
 
 build:
 	$(GO) build ./...
@@ -67,3 +68,28 @@ bench-baseline:
 # fails when any benchmark is >15% slower than BENCH_sim.json records.
 bench-compare:
 	$(GO) run ./cmd/simbench -skip-fig -compare BENCH_sim.json > /dev/null
+
+# Scratch dir for the CI tuning smoke (the committed plans/ are full-budget;
+# see tune-full).
+TUNE_DIR ?= /tmp/yhccl-plans-ci
+
+# Quick-budget plan synthesis for both evaluation machines into a scratch
+# dir: exercises the whole synthesize-save-load pipeline deterministically
+# at CI cost without touching the committed caches.
+tune:
+	$(GO) run ./cmd/yhcclbench -tune -quick -node NodeA -p 64 -plans $(TUNE_DIR)
+	$(GO) run ./cmd/yhcclbench -tune -quick -node NodeB -p 48 -plans $(TUNE_DIR)
+
+# Full-budget regeneration of the committed plan caches (plans/). The
+# search is deterministic, so an unchanged cost model reproduces the
+# committed files byte-for-byte.
+tune-full:
+	$(GO) run ./cmd/yhcclbench -tune -node NodeA -p 64
+	$(GO) run ./cmd/yhcclbench -tune -node NodeB -p 48
+
+# Beats-or-matches gate over the committed caches: the tuned dispatch must
+# match or beat every figure baseline at every quick sweep point, with at
+# least one strict win. Exits nonzero on any regression.
+plan-verify:
+	$(GO) run ./cmd/yhcclbench -plan-verify -quick -node NodeA -p 64
+	$(GO) run ./cmd/yhcclbench -plan-verify -quick -node NodeB -p 48

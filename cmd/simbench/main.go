@@ -29,8 +29,10 @@ import (
 	"yhccl/internal/bench"
 	"yhccl/internal/cluster"
 	"yhccl/internal/memmodel"
+	"yhccl/internal/plan"
 	"yhccl/internal/sim"
 	"yhccl/internal/topo"
+	"yhccl/internal/tune"
 )
 
 type result struct {
@@ -48,6 +50,7 @@ type report struct {
 	EngineMode         string            `json:"engine_mode"`
 	EngineParityCases  int               `json:"engine_parity_cases,omitempty"`
 	Benchmarks         map[string]result `json:"benchmarks"`
+	PlanCacheEntries   int               `json:"plan_cache_entries,omitempty"`
 	Fig11aQuickSeconds float64           `json:"fig11a_quick_wall_seconds,omitempty"`
 }
 
@@ -232,6 +235,49 @@ func eventPostPop(b *testing.B) {
 	}
 }
 
+// planLookup measures the per-call plan-table dispatch: one bucket index
+// plus an edge clamp. This is the hot path every Tuned* collective pays, so
+// it must stay O(1) with zero allocations (AllocsPerOp is asserted in CI
+// via the checked-in BENCH_sim.json showing 0).
+func planLookup(b *testing.B) {
+	var entries []plan.Plan
+	for _, c := range plan.Colls() {
+		for bkt := plan.Bucket(64 << 10); bkt <= plan.Bucket(256<<20); bkt++ {
+			entries = append(entries, plan.Plan{
+				Collective: c.String(), Bucket: bkt, SizeBytes: plan.BucketSize(bkt),
+				Params: plan.Params{Family: "socket-ma"},
+			})
+		}
+	}
+	tab, err := plan.NewTable(entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := [8]int64{4 << 10, 64 << 10, 640 << 10, 2 << 20, 13 << 20, 64 << 20, 256 << 20, 1 << 30}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink *plan.Plan
+	for i := 0; i < b.N; i++ {
+		sink = tab.Lookup(plan.Allreduce, sizes[i&7])
+	}
+	_ = sink
+}
+
+// planSynthesize measures one cold quick-budget tuner run at a small rank
+// count — the offline cost a `make tune -quick` pays per machine.
+func planSynthesize(count *int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cache, err := tune.Tune(tune.Config{Node: topo.NodeA(), Ranks: 4, Quick: true, Seed: 42})
+			if err != nil {
+				b.Fatal(err)
+			}
+			*count = len(cache.Plans)
+		}
+	}
+}
+
 // clusterCrossoverProgram is the shared compiled schedule both program
 // benchmarks interpret: the fig16b config (16 nodes x 64 ranks, 2 MB), the
 // apples-to-apples crossover between engines.
@@ -355,6 +401,8 @@ func realMain() int {
 	run("program_coroutine", programEngine(sim.EngineCoroutine), rep.Benchmarks)
 	run("residency_insert", residencyInsert, rep.Benchmarks)
 	run("residency_lookup", residencyLookup, rep.Benchmarks)
+	run("plan_lookup", planLookup, rep.Benchmarks)
+	run("plan_synthesize", planSynthesize(&rep.PlanCacheEntries), rep.Benchmarks)
 
 	fmt.Fprintf(os.Stderr, "running engine parity matrix...\n")
 	nParity, err := engineCompare(false)

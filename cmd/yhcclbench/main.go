@@ -14,6 +14,10 @@
 //	yhcclbench -exp fig16scale -engine event
 //	                                 # cluster-scale sweep on the event engine
 //	yhcclbench -scale-gate           # 65536+ rank smoke under wall/memory budgets (exit 1 on violation)
+//	yhcclbench -tune -node NodeA -p 64
+//	                                 # synthesize the tuned-plan cache into plans/
+//	yhcclbench -plan-verify -node NodeA -p 64
+//	                                 # beats-or-matches gate vs the figure baselines (exit 1 on regression)
 package main
 
 import (
@@ -41,8 +45,27 @@ func main() {
 		recoverF = flag.Bool("chaos-recover", false, "run the chaos sweep under the resilient supervisor and exit (nonzero on any recovery-gate violation)")
 		engine   = flag.String("engine", "", "simulation core for scale experiments: coroutine or event (default event)")
 		scaleF   = flag.Bool("scale-gate", false, "run the cluster-scale smoke gate and exit (nonzero on any budget violation)")
+		tuneF    = flag.Bool("tune", false, "synthesize the tuned-plan cache for -node/-p and exit")
+		verifyF  = flag.Bool("plan-verify", false, "verify the tuned-plan cache beats or matches every figure baseline and exit (nonzero on regression)")
+		nodeF    = flag.String("node", "NodeA", "machine for -tune/-plan-verify: NodeA, NodeB or NodeC")
+		ranksF   = flag.Int("p", 64, "rank count for -tune/-plan-verify")
+		plansF   = flag.String("plans", "", "plan-cache directory (default: the repository's plans/)")
+		seedF    = flag.Uint64("seed", 42, "search seed recorded in the cache (-tune)")
 	)
 	flag.Parse()
+
+	if *tuneF {
+		if err := runTune(os.Stdout, *nodeF, *ranksF, *plansF, *quick, *seedF); err != nil {
+			fatalf("tune: %v", err)
+		}
+		return
+	}
+	if *verifyF {
+		if err := runPlanVerify(os.Stdout, *nodeF, *ranksF, *plansF, *quick); err != nil {
+			fatalf("plan-verify: %v", err)
+		}
+		return
+	}
 
 	if *engine != "" {
 		kind, err := sim.ParseEngine(*engine)

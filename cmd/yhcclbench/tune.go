@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"yhccl/internal/plan"
+	"yhccl/internal/topo"
+	"yhccl/internal/tune"
+)
+
+// The -tune and -plan-verify modes: offline plan synthesis into the
+// persistent cache, and the beats-or-matches gate against the figure
+// baselines (exit 1 on the first sweep point a hand-written algorithm
+// strictly wins).
+
+// nodeByName resolves the evaluation-node descriptions by name.
+func nodeByName(name string) (*topo.Node, error) {
+	switch strings.ToLower(name) {
+	case "nodea", "a":
+		return topo.NodeA(), nil
+	case "nodeb", "b":
+		return topo.NodeB(), nil
+	case "nodec", "c":
+		return topo.NodeC(), nil
+	}
+	return nil, fmt.Errorf("unknown node %q (want NodeA, NodeB or NodeC)", name)
+}
+
+// runTune synthesizes the plan cache for one machine and saves it.
+func runTune(w io.Writer, nodeName string, p int, dir string, quick bool, seed uint64) error {
+	node, err := nodeByName(nodeName)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = plan.DefaultDir()
+		if dir == "" {
+			return fmt.Errorf("not inside the repository; pass -plans <dir>")
+		}
+	}
+	cache, err := tune.Tune(tune.Config{
+		Node: node, Ranks: p, Quick: quick, Seed: seed,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	path, err := cache.Save(dir)
+	if err != nil {
+		return err
+	}
+	searched, extrapolated := 0, 0
+	for _, e := range cache.Plans {
+		switch e.Source {
+		case "searched":
+			searched++
+		case "extrapolated":
+			extrapolated++
+		}
+	}
+	fmt.Fprintf(w, "wrote %s: %d plans (%d searched, %d extrapolated), checksum %s\n",
+		path, len(cache.Plans), searched, extrapolated, cache.Checksum)
+	return nil
+}
+
+// runPlanVerify loads the cache and runs the beats-or-matches gate.
+func runPlanVerify(w io.Writer, nodeName string, p int, dir string, quick bool) error {
+	node, err := nodeByName(nodeName)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = plan.DefaultDir()
+		if dir == "" {
+			return fmt.Errorf("not inside the repository; pass -plans <dir>")
+		}
+	}
+	cache, err := plan.Load(dir, node, p)
+	if err != nil {
+		return fmt.Errorf("load %s p=%d: %w", node.Name, p, err)
+	}
+	table, err := cache.Table()
+	if err != nil {
+		return err
+	}
+	points, gateErr := tune.Verify(node, p, table, quick)
+	strict := 0
+	for _, pt := range points {
+		mark := " "
+		if pt.Strict {
+			mark = "*"
+			strict++
+		}
+		fmt.Fprintf(w, "%s %-14s %9d B  tuned %-28s %.3es  best hand %-12s %.3es\n",
+			mark, pt.Collective, pt.SizeBytes, pt.Family, pt.Tuned, pt.BestName, pt.BestHand)
+	}
+	fmt.Fprintf(w, "%d points, %d strict wins (* = strictly faster than every hand-written baseline)\n",
+		len(points), strict)
+	if gateErr != nil {
+		return gateErr
+	}
+	if strict == 0 {
+		return fmt.Errorf("plan-verify: no strict-win regime (gate requires at least one)")
+	}
+	return nil
+}

@@ -13,6 +13,8 @@ import (
 	"yhccl/internal/coll"
 	"yhccl/internal/memmodel"
 	"yhccl/internal/mpi"
+	"yhccl/internal/plan"
+	"yhccl/internal/schedule"
 	"yhccl/internal/topo"
 )
 
@@ -102,6 +104,22 @@ func goldenFingerprint(t testing.TB) string {
 			}
 		}},
 	}
+	// A synthesized plan (the tuner's searched asymmetric-fanout family,
+	// lowered through the §3.1 formalism) executed via the graph executor:
+	// pins the whole plan→coll lowering path bit-for-bit, so the golden
+	// gate covers tuned dispatch the same way it covers the hand-written
+	// algorithms. The cache bytes themselves are pinned by internal/tune's
+	// byte-identical cold-run test.
+	fanoutGraph, err := plan.AllreduceFromSchedule(schedule.Fanout(p, 4))
+	if err != nil {
+		t.Fatalf("building golden plan graph: %v", err)
+	}
+	cases = append(cases, goldenCase{"allreduce-plan-fanout", 2 << 20, func(r *mpi.Rank, n int64) {
+		sb := r.PersistentBuffer("g/sb", n)
+		rb := r.PersistentBuffer("g/rb", n)
+		r.Warm(sb, 0, n)
+		coll.AllreduceGraph(r, r.World(), fanoutGraph, sb, rb, n, mpi.Sum, o)
+	}})
 	var sb strings.Builder
 	for _, tc := range cases {
 		n := tc.bytes / memmodel.ElemSize

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"yhccl/internal/coll"
+	"yhccl/internal/topo"
+)
+
+// Exported measurement entry points for the plan tuner (internal/tune).
+// These are the exact harness the figures use — same steady-state warm-up
+// contract, same machine construction — so a tuner candidate measured here
+// and a figure baseline measured by the sweep see identical simulated
+// times. That identity is what makes the "synthesized plans beat or match
+// every hand-written algorithm" gate hold exactly on ties: the tuner's
+// seed candidates ARE the figure baselines, measured by the same code.
+
+// NodeOptions returns the paper's per-node tuning (Imax 256 KB on NodeA,
+// 128 KB on NodeB, §5.3) — the option base every figure sweep uses.
+func NodeOptions(node *topo.Node) coll.Options { return nodeOptions(node) }
+
+// MsgSizes returns the 64 KB - 256 MB reduction sweep (13 points), or the
+// 3-point quick subset.
+func MsgSizes(quick bool) []int64 { return msgSizes(quick) }
+
+// SmallMsgSizes returns the 8 KB - 8 MB all-gather sweep (11 points), or
+// the 3-point quick subset.
+func SmallMsgSizes(quick bool) []int64 { return smallMsgSizes(quick) }
+
+// MeasureAllreduce measures an all-reduce algorithm at message sBytes on a
+// fresh machine, returning the steady-state simulated seconds.
+func MeasureAllreduce(node *topo.Node, p int, alg coll.ARFunc, sBytes int64, o coll.Options) float64 {
+	return measureAllreduce(node, p, alg, sBytes, o)
+}
+
+// MeasureReduceScatter measures a reduce-scatter at total message sBytes.
+func MeasureReduceScatter(node *topo.Node, p int, alg coll.RSFunc, sBytes int64, o coll.Options) float64 {
+	return measureReduceScatter(node, p, alg, sBytes, o)
+}
+
+// MeasureReduce measures a rooted reduce at message sBytes.
+func MeasureReduce(node *topo.Node, p int, alg coll.ReduceFunc, sBytes int64, o coll.Options) float64 {
+	return measureReduce(node, p, alg, sBytes, o)
+}
+
+// MeasureBcast measures a broadcast at message sBytes.
+func MeasureBcast(node *topo.Node, p int, alg coll.BcastFunc, sBytes int64, o coll.Options) float64 {
+	return measureBcast(node, p, alg, sBytes, o)
+}
+
+// MeasureAllgather measures an all-gather at per-rank contribution sBytes.
+func MeasureAllgather(node *topo.Node, p int, alg coll.AGFunc, sBytes int64, o coll.Options) float64 {
+	return measureAllgather(node, p, alg, sBytes, o)
+}

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 
+	"yhccl/internal/plan"
+	"yhccl/internal/schedule"
 	"yhccl/internal/sim"
 	"yhccl/internal/topo"
 )
@@ -20,6 +22,9 @@ type ParityCase struct {
 	Alg   Algorithm
 	Elems int64
 	Opts  ScheduleOptions
+	// Graph, when non-nil, compiles through CompileGraph instead of the
+	// algorithm compiler — the parity gate over synthesized plan DAGs.
+	Graph *plan.Graph
 }
 
 // parityNode is a small two-socket machine (2 x 2 cores) so the matrix can
@@ -94,6 +99,42 @@ func ParityCases() []ParityCase {
 			Opts:  ScheduleOptions{Intra: intra, RingSteps: 8},
 		})
 	}
+	// Synthesized plan graphs: the tuner's DAG shapes (chain lowering,
+	// asymmetric fanout, pure copy DAGs) compiled through CompileGraph must
+	// hold the same tick-identical parity as hand-written programs.
+	mustGraph := func(g *plan.Graph, err error) *plan.Graph {
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	graphs := []struct {
+		name  string
+		p     int
+		graph *plan.Graph
+	}{
+		{"plan-ma-rs", 8, mustGraph(plan.FromSchedule(schedule.MA(8)))},
+		{"plan-fanout-rs", 8, mustGraph(plan.FromSchedule(schedule.Fanout(8, 2)))},
+		{"plan-fanout-ar", 8, mustGraph(plan.AllreduceFromSchedule(schedule.Fanout(8, 4)))},
+		{"plan-bcast", 8, plan.BcastGraph(8, 0)},
+		{"plan-allgather", 4, plan.AllgatherGraph(4)},
+		{"plan-socket-rs", 4, mustGraph(plan.FromSchedule(schedule.MA(4)))},
+	}
+	for _, gc := range graphs {
+		node := topo.NodeA()
+		if gc.name == "plan-socket-rs" {
+			node = parityNode() // 2x2: exercises the cross-socket pricing
+		}
+		for _, n := range sizes {
+			cases = append(cases, ParityCase{
+				Name:  fmt.Sprintf("graph/%s/1x%d/n%d", gc.name, gc.p, n),
+				Clust: New(node, 1, gc.p, IB100()),
+				Coll:  CollAllreduce, // unused: Graph selects the compiler
+				Elems: n,
+				Graph: gc.graph,
+			})
+		}
+	}
 	return cases
 }
 
@@ -111,7 +152,13 @@ type ParityResult struct {
 func VerifyParity(cases []ParityCase) ([]ParityResult, error) {
 	results := make([]ParityResult, 0, len(cases))
 	for _, pc := range cases {
-		prog, err := pc.Clust.Compile(pc.Coll, pc.Alg, pc.Elems, pc.Opts)
+		var prog sim.Program
+		var err error
+		if pc.Graph != nil {
+			prog, err = pc.Clust.CompileGraph(pc.Graph, pc.Elems, pc.Opts)
+		} else {
+			prog, err = pc.Clust.Compile(pc.Coll, pc.Alg, pc.Elems, pc.Opts)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("parity %s: compile: %w", pc.Name, err)
 		}

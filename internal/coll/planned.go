@@ -1,0 +1,199 @@
+package coll
+
+import (
+	"fmt"
+	"sync"
+
+	"yhccl/internal/memcopy"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/plan"
+	"yhccl/internal/schedule"
+)
+
+// Planner is a machine's tuned-plan dispatch state: the loaded plan table
+// plus lazily compiled graphs for the searched "fanout" family. One Planner
+// is built per machine (facade: yhccl.AttachPlans) and attached via
+// mpi.Machine.SetTuning — the per-call cost is a single table lookup.
+type Planner struct {
+	table *plan.Table
+
+	// graphs caches compiled fanout DAGs keyed by (collective, p, fanout).
+	// Guarded: ranks are concurrent goroutines inside a simulation run.
+	mu     sync.Mutex
+	graphs map[graphKey]*plan.Graph
+}
+
+type graphKey struct {
+	coll plan.Coll
+	p    int
+	f    int
+}
+
+// NewPlanner wraps a loaded plan table for dispatch.
+func NewPlanner(t *plan.Table) *Planner {
+	return &Planner{table: t, graphs: make(map[graphKey]*plan.Graph)}
+}
+
+// Table exposes the underlying plan table (examples, diagnostics).
+func (pl *Planner) Table() *plan.Table { return pl.table }
+
+// PlannerOf returns the machine's attached Planner, or nil when it runs on
+// hand-tuned dispatch.
+func PlannerOf(m *mpi.Machine) *Planner {
+	pl, _ := m.Tuning().(*Planner)
+	return pl
+}
+
+// fanoutGraph returns the compiled DAG for the fanout family, building and
+// validating it on first use.
+func (pl *Planner) fanoutGraph(c plan.Coll, p, f int) *plan.Graph {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	k := graphKey{c, p, f}
+	if g, ok := pl.graphs[k]; ok {
+		return g
+	}
+	var g *plan.Graph
+	var err error
+	switch c {
+	case plan.Allreduce:
+		g, err = plan.AllreduceFromSchedule(schedule.Fanout(p, f))
+	case plan.ReduceScatter:
+		g, err = plan.FromSchedule(schedule.Fanout(p, f))
+	default:
+		err = fmt.Errorf("coll: fanout family has no %s lowering", c)
+	}
+	if err != nil {
+		panic(err) // searched plans are validated at synthesis time
+	}
+	pl.graphs[k] = g
+	return g
+}
+
+// ApplyParams overlays a plan's searched parameters onto base options:
+// pipeline slice bound, copy policy, RG degree. Unset params keep the
+// caller's values, so node-specific defaults still apply.
+func ApplyParams(o Options, pr plan.Params) Options {
+	if pr.SliceKB > 0 {
+		o.SliceMaxBytes = pr.SliceKB << 10
+	}
+	if pr.Policy != "" {
+		pol, err := memcopy.ParsePolicy(pr.Policy)
+		if err != nil {
+			panic(err) // validated at synthesis time
+		}
+		o = o.WithPolicy(pol)
+	}
+	if pr.RGDegree > 0 {
+		o.RGDegree = pr.RGDegree
+	}
+	return o
+}
+
+// The Tuned* dispatchers: one table lookup selects the synthesized plan for
+// the message size; a missing planner or an untuned collective falls back
+// to the hand-tuned YHCCL switch. These are what the facade's collective
+// entry points call on a tuned machine.
+
+// TunedAllreduce dispatches an all-reduce through the plan table.
+func TunedAllreduce(pl *Planner, r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options) {
+	if pl == nil {
+		AllreduceYHCCL(r, c, sb, rb, n, op, o)
+		return
+	}
+	entry := pl.table.Lookup(plan.Allreduce, n*memmodel.ElemSize)
+	if entry == nil {
+		AllreduceYHCCL(r, c, sb, rb, n, op, o)
+		return
+	}
+	o = ApplyParams(o, entry.Params)
+	if entry.Params.Family == "fanout" {
+		g := pl.fanoutGraph(plan.Allreduce, c.Size(), entry.Params.Fanout)
+		AllreduceGraph(r, c, g, sb, rb, n, op, o)
+		return
+	}
+	f, err := Lookup(AllreduceAlgos, entry.Params.Family)
+	if err != nil {
+		panic(err)
+	}
+	f(r, c, sb, rb, n, op, o)
+}
+
+// TunedReduceScatter dispatches a reduce-scatter (sb p*n elems, rb n) by
+// total message size, matching the figure convention.
+func TunedReduceScatter(pl *Planner, r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options) {
+	if pl == nil {
+		ReduceScatterYHCCL(r, c, sb, rb, n, op, o)
+		return
+	}
+	total := int64(c.Size()) * n * memmodel.ElemSize
+	entry := pl.table.Lookup(plan.ReduceScatter, total)
+	if entry == nil {
+		ReduceScatterYHCCL(r, c, sb, rb, n, op, o)
+		return
+	}
+	o = ApplyParams(o, entry.Params)
+	if entry.Params.Family == "fanout" {
+		g := pl.fanoutGraph(plan.ReduceScatter, c.Size(), entry.Params.Fanout)
+		ReduceScatterGraph(r, c, g, sb, rb, n, op, o)
+		return
+	}
+	f, err := Lookup(ReduceScatterAlgos, entry.Params.Family)
+	if err != nil {
+		panic(err)
+	}
+	f(r, c, sb, rb, n, op, o)
+}
+
+// TunedReduce dispatches a rooted reduce through the plan table.
+func TunedReduce(pl *Planner, r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, root int, o Options) {
+	var entry *plan.Plan
+	if pl != nil {
+		entry = pl.table.Lookup(plan.Reduce, n*memmodel.ElemSize)
+	}
+	if entry == nil {
+		ReduceYHCCL(r, c, sb, rb, n, op, root, o)
+		return
+	}
+	f, err := Lookup(ReduceAlgos, entry.Params.Family)
+	if err != nil {
+		panic(err)
+	}
+	f(r, c, sb, rb, n, op, root, ApplyParams(o, entry.Params))
+}
+
+// TunedBcast dispatches a broadcast through the plan table.
+func TunedBcast(pl *Planner, r *mpi.Rank, c *mpi.Comm, buf *memmodel.Buffer, n int64, root int, o Options) {
+	var entry *plan.Plan
+	if pl != nil {
+		entry = pl.table.Lookup(plan.Bcast, n*memmodel.ElemSize)
+	}
+	if entry == nil {
+		BcastPipelined(r, c, buf, n, root, o)
+		return
+	}
+	f, err := Lookup(BcastAlgos, entry.Params.Family)
+	if err != nil {
+		panic(err)
+	}
+	f(r, c, buf, n, root, ApplyParams(o, entry.Params))
+}
+
+// TunedAllgather dispatches an all-gather (sb n elems, rb p*n) keyed by the
+// per-rank contribution size.
+func TunedAllgather(pl *Planner, r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, o Options) {
+	var entry *plan.Plan
+	if pl != nil {
+		entry = pl.table.Lookup(plan.Allgather, n*memmodel.ElemSize)
+	}
+	if entry == nil {
+		AllgatherPipelined(r, c, sb, rb, n, mpi.Sum, o)
+		return
+	}
+	f, err := Lookup(AllgatherAlgos, entry.Params.Family)
+	if err != nil {
+		panic(err)
+	}
+	f(r, c, sb, rb, n, mpi.Sum, ApplyParams(o, entry.Params))
+}

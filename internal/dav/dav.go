@@ -173,3 +173,67 @@ func PipelinedBcast(s int64, p int) int64 {
 func PipelinedAllgather(s int64, p int) int64 {
 	return 2*s*int64(p) + 2*s*int64(p)*int64(p)
 }
+
+// Predicted dispatches to the closed form this repository's implementation
+// of (collective, family) achieves, for a message of s bytes over p
+// processes, m sockets and RG degree k. It is the family-level entry the
+// plan tuner uses to stamp PredictedDAV onto cache entries; ok is false for
+// families without a closed form (searched graph variants predict through
+// plan.Graph.DAVBytes instead, two-level small-message reductions through
+// measurement).
+func Predicted(collective, family string, s int64, p, m, k int) (int64, bool) {
+	switch collective {
+	case "reduce-scatter":
+		switch family {
+		case "ring":
+			return RingReduceScatter(s, p), true
+		case "rabenseifner":
+			return RabenseifnerReduceScatter(s, p), true
+		case "dpml":
+			return DPMLReduceScatter(s, p), true
+		case "ma":
+			return MAReduceScatter(s, p), true
+		case "socket-ma":
+			return SocketMAReduceScatter(s, p, m), true
+		}
+	case "allreduce":
+		switch family {
+		case "ring":
+			return RingAllreduceImpl(s, p), true
+		case "rabenseifner":
+			return RabenseifnerAllreduceImpl(s, p), true
+		case "dpml":
+			return DPMLAllreduceImpl(s, p), true
+		case "rg":
+			return RGAllreduce(s, p, k), true
+		case "ma":
+			return MAAllreduce(s, p), true
+		case "socket-ma":
+			return SocketMAAllreduce(s, p, m), true
+		case "xpmem":
+			return XPMEMAllreduce(s, p), true
+		}
+	case "reduce":
+		switch family {
+		case "dpml":
+			return DPMLReduceImpl(s, p), true
+		case "rg":
+			return RGReduce(s, p, k), true
+		case "ma":
+			return MAReduce(s, p), true
+		case "socket-ma":
+			return SocketMAReduce(s, p, m), true
+		}
+	case "bcast":
+		switch family {
+		case "pipelined", "yhccl":
+			return PipelinedBcast(s, p), true
+		}
+	case "allgather":
+		switch family {
+		case "pipelined", "yhccl":
+			return PipelinedAllgather(s, p), true
+		}
+	}
+	return 0, false
+}

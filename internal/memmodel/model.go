@@ -7,6 +7,12 @@ import (
 	"yhccl/internal/topo"
 )
 
+// Version identifies the cost model's behaviour for consumers that persist
+// model-derived results (the tuned-plan cache keys on it). Bump whenever a
+// change can alter predicted times or counters — stale caches are then
+// rejected and re-tuned rather than silently trusted.
+const Version = 1
+
 // Counters accumulates the traffic statistics of a run. Logical counters
 // correspond to the paper's data-access-volume analysis (Tables 1-3); the
 // DRAM counters correspond to its memory-bandwidth analysis (Table 4,

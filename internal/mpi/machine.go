@@ -45,6 +45,13 @@ type Machine struct {
 	// lastClocks holds each rank's final virtual clock from the most recent
 	// successful Run, in rank order.
 	lastClocks []float64
+
+	// tuned is the machine's tuned-plan dispatch state, attached once at
+	// creation by the facade (loaded from the plan cache) and consulted by
+	// the Tuned* collectives. Held untyped so this low-level package does
+	// not depend on the planning layers; internal/coll owns the concrete
+	// type.
+	tuned any
 }
 
 // NewMachine creates a machine with p ranks block-bound to cores 0..p-1
@@ -192,6 +199,14 @@ func (m *Machine) RankClocks() []float64 {
 	}
 	return append([]float64(nil), m.lastClocks...)
 }
+
+// SetTuning attaches tuned-plan dispatch state (a *coll.Planner) to the
+// machine. Called once at machine creation — never per collective call.
+func (m *Machine) SetTuning(t any) { m.tuned = t }
+
+// Tuning returns the attached tuned-plan state, or nil when the machine
+// runs on hand-tuned dispatch only.
+func (m *Machine) Tuning() any { return m.tuned }
 
 // Size returns the number of ranks.
 func (m *Machine) Size() int { return len(m.RankCores) }

@@ -1,0 +1,200 @@
+package plan
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/topo"
+)
+
+// FormatVersion is the cache file layout version. Bump on any
+// serialization change; readers reject other versions.
+const FormatVersion = 1
+
+// Sentinel errors for cache rejection, so callers can distinguish "stale,
+// re-tune" from "corrupt, warn" — both degrade to hand-tuned dispatch.
+var (
+	// ErrVersion marks a format or cost-model version mismatch.
+	ErrVersion = errors.New("plan: cache version mismatch")
+	// ErrChecksum marks a corrupted or hand-edited cache body.
+	ErrChecksum = errors.New("plan: cache checksum mismatch")
+	// ErrTopology marks a cache tuned for a different machine.
+	ErrTopology = errors.New("plan: cache topology mismatch")
+)
+
+// Cache is the on-disk tuned-plan store for one machine configuration.
+type Cache struct {
+	// FormatVersion and CostModelVersion gate loading: a cache tuned
+	// against an older cost model is stale, not wrong — it is rejected so
+	// the owner re-tunes.
+	FormatVersion    int `json:"format_version"`
+	CostModelVersion int `json:"cost_model_version"`
+	// Topology/TopoFingerprint/Ranks/Sockets/Dtype are the machine key.
+	TopoFingerprint uint64 `json:"topo_fingerprint"`
+	Topology        string `json:"topology"`
+	Ranks           int    `json:"ranks"`
+	Sockets         int    `json:"sockets"`
+	Dtype           string `json:"dtype"`
+	// Seed is the search seed the tuner ran with (recorded so a cold
+	// re-tune can reproduce the cache byte-for-byte).
+	Seed uint64 `json:"seed"`
+	// Plans holds the entries sorted by (collective, bucket).
+	Plans []Plan `json:"plans"`
+	// Checksum is the FNV-64a of the canonical body (computed with this
+	// field empty), hex-encoded.
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// NewCache starts an empty cache keyed to a machine.
+func NewCache(node *topo.Node, ranks int, seed uint64) *Cache {
+	return &Cache{
+		FormatVersion:    FormatVersion,
+		CostModelVersion: memmodel.Version,
+		TopoFingerprint:  TopoFingerprint(node),
+		Topology:         node.Name,
+		Ranks:            ranks,
+		Sockets:          node.Sockets,
+		Dtype:            "float64",
+		Seed:             seed,
+	}
+}
+
+// TopoFingerprint hashes every field of the node description, so a cache
+// tuned on a recalibrated topology (same name, different bandwidths) is
+// invalidated.
+func TopoFingerprint(node *topo.Node) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%v|%g|%g|%g|%g|%g|%g|%g|%g",
+		node.Name, node.Sockets, node.CoresPerSocket,
+		node.L2PerCore, node.L3PerSocket, node.L3Inclusive,
+		node.DRAMBandwidthPerSocket, node.DRAMBandwidthPerCore,
+		node.CacheBandwidthPerCore, node.L3BandwidthPerSocket,
+		node.CrossSocketFactor, node.SyncLatencyIntra, node.SyncLatencyInter,
+		node.ReducePerCoreBandwidth)
+	return h.Sum64()
+}
+
+// Sort orders the plans canonically; Save calls it so equal plan sets
+// serialize to equal bytes.
+func (c *Cache) Sort() {
+	sort.Slice(c.Plans, func(i, j int) bool {
+		if c.Plans[i].Collective != c.Plans[j].Collective {
+			return c.Plans[i].Collective < c.Plans[j].Collective
+		}
+		return c.Plans[i].Bucket < c.Plans[j].Bucket
+	})
+}
+
+// checksum computes the canonical-body hash: the cache marshaled with an
+// empty Checksum field.
+func (c *Cache) checksum() (string, error) {
+	cp := *c
+	cp.Checksum = ""
+	body, err := json.Marshal(&cp)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// FileName is the per-machine cache file name within a plans directory.
+func FileName(topology string, ranks int) string {
+	return fmt.Sprintf("%s_p%d.json", topology, ranks)
+}
+
+// Save writes the cache to dir (created if missing), canonically sorted
+// and checksummed. The write is atomic (temp file + rename) so a crashed
+// tuner never leaves a torn cache behind.
+func (c *Cache) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	c.Sort()
+	sum, err := c.checksum()
+	if err != nil {
+		return "", err
+	}
+	c.Checksum = sum
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	out = append(out, '\n')
+	path := filepath.Join(dir, FileName(c.Topology, c.Ranks))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads and verifies the cache for a machine from dir: format and
+// cost-model versions must match the running binary, the checksum must
+// verify, and the topology fingerprint must match the node. Any failure
+// returns a wrapped sentinel error; callers degrade to hand-tuned
+// dispatch.
+func Load(dir string, node *topo.Node, ranks int) (*Cache, error) {
+	path := filepath.Join(dir, FileName(node.Name, ranks))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Cache
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrChecksum, path, err)
+	}
+	if c.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("%w: %s has format %d, want %d", ErrVersion, path, c.FormatVersion, FormatVersion)
+	}
+	if c.CostModelVersion != memmodel.Version {
+		return nil, fmt.Errorf("%w: %s tuned against cost model v%d, running v%d (re-tune)",
+			ErrVersion, path, c.CostModelVersion, memmodel.Version)
+	}
+	want, err := c.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if c.Checksum != want {
+		return nil, fmt.Errorf("%w: %s records %s, body hashes to %s", ErrChecksum, path, c.Checksum, want)
+	}
+	if c.TopoFingerprint != TopoFingerprint(node) || c.Ranks != ranks {
+		return nil, fmt.Errorf("%w: %s tuned for %s p=%d fp=%016x, machine is %s p=%d fp=%016x",
+			ErrTopology, path, c.Topology, c.Ranks, c.TopoFingerprint,
+			node.Name, ranks, TopoFingerprint(node))
+	}
+	return &c, nil
+}
+
+// Table indexes the cache's plans for dispatch.
+func (c *Cache) Table() (*Table, error) { return NewTable(c.Plans) }
+
+// DefaultDir locates the repository's plans/ directory by walking up from
+// the working directory to the module root (go.mod). Falls back to
+// "plans" relative to the working directory.
+func DefaultDir() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "plans"
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, "plans")
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "plans"
+		}
+		dir = parent
+	}
+}

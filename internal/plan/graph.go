@@ -1,0 +1,339 @@
+package plan
+
+import (
+	"fmt"
+
+	"yhccl/internal/schedule"
+)
+
+// This file is the chunk-level copy/reduce DAG — the compiler IR between
+// the §3.1 schedule formalism (reduction trees for reduce-scatter) and the
+// machine. A Graph covers the whole collective family: reduce-scatter
+// (lowered from a schedule.Schedule), all-reduce (reduce-scatter plus a
+// full copy-out stage), broadcast and all-gather (pure copy DAGs). The
+// generic executor in internal/coll walks the step list; the DAV method
+// prices the graph by the paper's Equation 1 accounting, which tests
+// cross-check against both the closed forms of internal/dav and the
+// counters a real execution accumulates.
+
+// OpKind is the kind of one DAG step.
+type OpKind uint8
+
+const (
+	// OpCopyIn copies the executor's private block into a shared slot
+	// (2 access units per byte: one load, one store).
+	OpCopyIn OpKind = iota
+	// OpReduce combines two operands into a shared slot — or straight into
+	// the executor's receive buffer when Dst == ToRecv (3 units per byte).
+	OpReduce
+	// OpCopyOut copies a shared slot into the executor's receive buffer
+	// (2 units per byte).
+	OpCopyOut
+)
+
+// ToRecv as a Dst directs an OpReduce result into the executor's receive
+// buffer instead of a shared slot (the Fig. 6 last-node optimization).
+const ToRecv = int32(-1)
+
+// Operand is one input of an OpReduce step: the executor's own private
+// block (Own) or a previously produced shared slot.
+type Operand struct {
+	// Own selects the executor's private send-buffer block (read in
+	// place, no copy — the movement-avoiding trick).
+	Own bool `json:"own,omitempty"`
+	// Slot is the shared slot read when !Own.
+	Slot int32 `json:"slot,omitempty"`
+}
+
+// Step is one node of the DAG.
+type Step struct {
+	// R is the executing rank.
+	R int32 `json:"r"`
+	// Kind selects the operation.
+	Kind OpKind `json:"kind"`
+	// Block is the n-element block the step works on: the tree index for
+	// reduce-scatter/all-reduce, the contributing rank for all-gather, 0
+	// for broadcast. It addresses the executor's private buffers; slots
+	// are addressed by Dst/Src.
+	Block int32 `json:"block"`
+	// Dst is the produced slot (OpCopyIn, OpReduce; ToRecv allowed for
+	// OpReduce). Src is the consumed slot (OpCopyOut).
+	Dst int32 `json:"dst,omitempty"`
+	Src int32 `json:"src,omitempty"`
+	// A and B are OpReduce's operands.
+	A Operand `json:"a,omitempty"`
+	B Operand `json:"b,omitempty"`
+}
+
+// Graph is a complete chunk-level collective schedule.
+type Graph struct {
+	// P is the rank count the graph is compiled for.
+	P int
+	// Blocks is how many n-element blocks the payload is split into.
+	Blocks int
+	// Slots is the shared-slot count (each holds one pipeline chunk).
+	Slots int
+	// Steps is the DAG in a topological order: every slot is produced by
+	// an earlier step than any consumer. Each rank executes its steps in
+	// this order, which makes the execution deadlock-free by induction.
+	Steps []Step
+}
+
+// Validate checks executor ranges, single-assignment of slots, and that
+// every consumed slot was produced by an earlier step.
+func (g *Graph) Validate() error {
+	if g.P <= 0 || g.Blocks <= 0 {
+		return fmt.Errorf("plan: graph needs positive P and Blocks (have %d, %d)", g.P, g.Blocks)
+	}
+	produced := make([]bool, g.Slots)
+	useSlot := func(j int, s int32) error {
+		if s < 0 || int(s) >= g.Slots {
+			return fmt.Errorf("plan: step %d reads slot %d out of range [0,%d)", j, s, g.Slots)
+		}
+		if !produced[s] {
+			return fmt.Errorf("plan: step %d reads slot %d before it is produced", j, s)
+		}
+		return nil
+	}
+	for j, st := range g.Steps {
+		if st.R < 0 || int(st.R) >= g.P {
+			return fmt.Errorf("plan: step %d executor %d out of range", j, st.R)
+		}
+		if st.Block < 0 || int(st.Block) >= g.Blocks {
+			return fmt.Errorf("plan: step %d block %d out of range", j, st.Block)
+		}
+		switch st.Kind {
+		case OpCopyIn, OpReduce:
+			if st.Kind == OpReduce {
+				for _, op := range [2]Operand{st.A, st.B} {
+					if !op.Own {
+						if err := useSlot(j, op.Slot); err != nil {
+							return err
+						}
+					}
+				}
+				if st.Dst == ToRecv {
+					continue
+				}
+			}
+			if st.Dst < 0 || int(st.Dst) >= g.Slots {
+				return fmt.Errorf("plan: step %d writes slot %d out of range [0,%d)", j, st.Dst, g.Slots)
+			}
+			if produced[st.Dst] {
+				return fmt.Errorf("plan: slot %d produced twice (step %d)", st.Dst, j)
+			}
+			produced[st.Dst] = true
+		case OpCopyOut:
+			if err := useSlot(j, st.Src); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("plan: step %d has unknown kind %d", j, st.Kind)
+		}
+	}
+	return nil
+}
+
+// DAVBytes prices the graph for blocks of blockBytes each, by the paper's
+// access-unit accounting: copies cost 2 units per byte, reductions 3.
+func (g *Graph) DAVBytes(blockBytes int64) int64 {
+	total := int64(0)
+	for _, st := range g.Steps {
+		switch st.Kind {
+		case OpCopyIn, OpCopyOut:
+			total += 2 * blockBytes
+		case OpReduce:
+			total += 3 * blockBytes
+		}
+	}
+	return total
+}
+
+// CopyVolumeBytes is the paper's V for the graph: bytes moved between
+// private and shared memory by explicit copies (2 units per copied byte).
+func (g *Graph) CopyVolumeBytes(blockBytes int64) int64 {
+	v := int64(0)
+	for _, st := range g.Steps {
+		if st.Kind == OpCopyIn || st.Kind == OpCopyOut {
+			v += 2 * blockBytes
+		}
+	}
+	return v
+}
+
+// CriticalPath returns the longest dependency chain in steps — the
+// latency proxy that distinguishes a p-1-deep MA chain from a fanout
+// variant's p/f + f depth.
+func (g *Graph) CriticalPath() int {
+	depth := make([]int, g.Slots)
+	longest := 0
+	at := func(op Operand) int {
+		if op.Own {
+			return 0
+		}
+		return depth[op.Slot]
+	}
+	for _, st := range g.Steps {
+		d := 1
+		switch st.Kind {
+		case OpReduce:
+			if a := at(st.A); a >= d {
+				d = a + 1
+			}
+			if b := at(st.B); b >= d {
+				d = b + 1
+			}
+		case OpCopyOut:
+			d = depth[st.Src] + 1
+		}
+		if st.Kind != OpCopyOut && st.Dst != ToRecv {
+			depth[st.Dst] = d
+		}
+		if d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
+
+// FromSchedule lowers a validated §3.1 reduce-scatter schedule into a
+// Graph: one copy-in per foreign slice use, the tree's reductions in phase
+// order, and a copy-out for any block whose final reduction ran on a rank
+// other than its owner (owners executing their own final write straight to
+// the receive buffer, as in Fig. 6).
+func FromSchedule(s schedule.Schedule) (*Graph, error) {
+	p := len(s)
+	if err := s.Validate(p); err != nil {
+		return nil, err
+	}
+	g := &Graph{P: p, Blocks: p}
+	// Slot numbering: per tree i, slots for copied-in slices first (one
+	// per foreign slice actually copied), then one per node result.
+	type key struct{ tree, idx int }
+	sliceSlot := map[key]int32{}
+	nodeSlot := map[key]int32{}
+	alloc := func() int32 { s := int32(g.Slots); g.Slots++; return s }
+
+	// Phase by node index j so that the interleaving matches the phased
+	// executor: copy-ins feeding phase-j nodes, then the phase-j nodes.
+	for j := 0; j < p-1; j++ {
+		for i := 0; i < p; i++ {
+			n := s[i][j]
+			for _, op := range [2]schedule.Operand{n.A, n.B} {
+				if op.IsSlice && op.X != n.R {
+					slot := alloc()
+					sliceSlot[key{i, op.X}] = slot
+					g.Steps = append(g.Steps, Step{
+						R: int32(op.X), Kind: OpCopyIn, Block: int32(i), Dst: slot,
+					})
+				}
+			}
+		}
+		for i := 0; i < p; i++ {
+			n := s[i][j]
+			operand := func(op schedule.Operand) Operand {
+				if op.IsSlice {
+					if op.X == n.R {
+						return Operand{Own: true}
+					}
+					return Operand{Slot: sliceSlot[key{i, op.X}]}
+				}
+				return Operand{Slot: nodeSlot[key{i, op.Ref}]}
+			}
+			st := Step{R: int32(n.R), Kind: OpReduce, Block: int32(i), A: operand(n.A), B: operand(n.B)}
+			if j == p-2 && n.R == i {
+				st.Dst = ToRecv
+			} else {
+				slot := alloc()
+				nodeSlot[key{i, j}] = slot
+				st.Dst = slot
+			}
+			g.Steps = append(g.Steps, st)
+		}
+	}
+	// Copy-outs for blocks finalized on a foreign rank.
+	for i := 0; i < p; i++ {
+		if final := s[i][p-2]; final.R != i {
+			g.Steps = append(g.Steps, Step{
+				R: int32(i), Kind: OpCopyOut, Block: int32(i), Src: nodeSlot[key{i, p - 2}],
+			})
+		}
+	}
+	return g, g.Validate()
+}
+
+// AllreduceFromSchedule lowers a reduce-scatter schedule into an
+// all-reduce graph: every block's final reduction lands in a shared slot,
+// and every rank copies every block out — the MA all-reduce composition
+// (Table 2: reduce-scatter's 3p-1 units plus 2p of copy-out).
+func AllreduceFromSchedule(s schedule.Schedule) (*Graph, error) {
+	p := len(s)
+	g, err := FromSchedule(s)
+	if err != nil {
+		return nil, err
+	}
+	// Redirect direct-to-recv finals into slots so all ranks can read them.
+	finalSlot := make([]int32, p)
+	for i := range finalSlot {
+		finalSlot[i] = -2
+	}
+	outSteps := g.Steps[:0]
+	for _, st := range g.Steps {
+		if st.Kind == OpCopyOut {
+			continue // replaced by the full copy-out stage below
+		}
+		if st.Kind == OpReduce && st.Dst == ToRecv {
+			slot := int32(g.Slots)
+			g.Slots++
+			st.Dst = slot
+		}
+		outSteps = append(outSteps, st)
+	}
+	g.Steps = outSteps
+	// Record each block's final slot (the last producing step per block).
+	lastProducer := make([]int32, p)
+	for i := range lastProducer {
+		lastProducer[i] = -1
+	}
+	for _, st := range g.Steps {
+		if st.Kind == OpReduce {
+			lastProducer[st.Block] = st.Dst
+		}
+	}
+	for r := 0; r < p; r++ {
+		for i := 0; i < p; i++ {
+			g.Steps = append(g.Steps, Step{
+				R: int32(r), Kind: OpCopyOut, Block: int32(i), Src: lastProducer[i],
+			})
+		}
+	}
+	return g, g.Validate()
+}
+
+// BcastGraph is the broadcast copy DAG: the root publishes its buffer into
+// a shared slot, every other rank copies it out (DAV 2s + 2s(p-1)).
+func BcastGraph(p, root int) *Graph {
+	g := &Graph{P: p, Blocks: 1, Slots: 1}
+	g.Steps = append(g.Steps, Step{R: int32(root), Kind: OpCopyIn, Block: 0, Dst: 0})
+	for r := 0; r < p; r++ {
+		if r != root {
+			g.Steps = append(g.Steps, Step{R: int32(r), Kind: OpCopyOut, Block: 0, Src: 0})
+		}
+	}
+	return g
+}
+
+// AllgatherGraph is the all-gather copy DAG: every rank publishes its
+// block, every rank copies every block out (DAV 2sp + 2sp^2 per node).
+func AllgatherGraph(p int) *Graph {
+	g := &Graph{P: p, Blocks: p, Slots: p}
+	for r := 0; r < p; r++ {
+		g.Steps = append(g.Steps, Step{R: int32(r), Kind: OpCopyIn, Block: int32(r), Dst: int32(r)})
+	}
+	for r := 0; r < p; r++ {
+		for b := 0; b < p; b++ {
+			g.Steps = append(g.Steps, Step{R: int32(r), Kind: OpCopyOut, Block: int32(b), Src: int32(b)})
+		}
+	}
+	return g
+}

@@ -181,6 +181,52 @@ func MA(p int) Schedule {
 	return s
 }
 
+// Fanout returns a searched family between MA and DPML: for each tree, f
+// parallel movement-avoiding chains (each folding its members' own slices,
+// so each chain costs the one copy-in of its head slice — 2f units per tree
+// against MA's 2) followed by a combining chain over the f partial results,
+// executed by the block's owner so the final write can go straight to the
+// receive buffer. The trade: critical path drops from MA's p-1 to about
+// p/f + f reductions, which is what wins at small messages where the chain
+// latency, not the copy volume, dominates. Fanout(p, 1) degenerates to an
+// MA-equivalent chain. f is clamped to [1, p/2] so every chain reduces at
+// least two slices.
+func Fanout(p, f int) Schedule {
+	if f < 1 {
+		f = 1
+	}
+	if f > p/2 {
+		f = p / 2
+	}
+	s := make(Schedule, p)
+	for i := 0; i < p; i++ {
+		// Order the slices with the owner last, so the final fold (or the
+		// final combine) is executed by rank i.
+		order := make([]int, p)
+		for j := 0; j < p; j++ {
+			order[j] = (i + 1 + j) % p
+		}
+		t := make(Tree, 0, p-1)
+		chainEnd := make([]int, 0, f)
+		for c := 0; c < f; c++ {
+			lo, hi := c*p/f, (c+1)*p/f
+			members := order[lo:hi]
+			t = append(t, Node{R: members[1], A: Slice(members[0]), B: Slice(members[1])})
+			for _, r := range members[2:] {
+				t = append(t, Node{R: r, A: Ref(len(t) - 1), B: Slice(r)})
+			}
+			chainEnd = append(chainEnd, len(t)-1)
+		}
+		acc := chainEnd[0]
+		for c := 1; c < f; c++ {
+			t = append(t, Node{R: i, A: Ref(acc), B: Ref(chainEnd[c])})
+			acc = len(t) - 1
+		}
+		s[i] = t
+	}
+	return s
+}
+
 // MinTreeCopyUnits exhaustively searches all valid trees for p processes
 // and returns the minimum of sum_j V(T_{i,j}) — the quantity Theorem 3.1
 // bounds below by 2. Exponential; intended for p <= 6.

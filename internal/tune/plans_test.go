@@ -1,0 +1,107 @@
+package tune
+
+import (
+	"testing"
+
+	"yhccl/internal/coll"
+	"yhccl/internal/plan"
+	"yhccl/internal/topo"
+)
+
+// These tests pin the committed plan caches under plans/ — the artifacts
+// `make tune-full` regenerates. They fail when the caches are missing or
+// stale relative to the cost model, which is exactly the drift they guard.
+
+func loadCommitted(t *testing.T, node *topo.Node, p int) *plan.Cache {
+	t.Helper()
+	dir := plan.DefaultDir()
+	if dir == "" {
+		t.Fatal("not inside the repository (no go.mod above the test binary)")
+	}
+	cache, err := plan.Load(dir, node, p)
+	if err != nil {
+		t.Fatalf("committed cache for %s p=%d: %v (regenerate with `make tune-full`)", node.Name, p, err)
+	}
+	return cache
+}
+
+// Satellite gate (a): the tuner-derived small/large all-reduce switch on
+// NodeA p=64 must land within one size bucket of the paper's hand-tuned
+// 256 KB threshold (§5.1).
+//
+// Documented divergence: the tuner picks the parallel-reduction class
+// (dpml at p=64 — structurally the paper's two-level split with different
+// constants) up to 128 KB and movement-avoiding/kernel-assisted families
+// from 256 KB, so the derived switch is one bucket below the paper's
+// value. The paper's 256 KB is the largest size it still runs the
+// small-message algorithm; our cost model has the crossover half a bucket
+// earlier, which rounds down under bucket granularity.
+func TestDerivedSwitchMatchesPaper(t *testing.T) {
+	cache := loadCommitted(t, topo.NodeA(), 64)
+	table, err := cache.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, ok := table.SwitchBytes(plan.Allreduce)
+	if !ok {
+		t.Fatal("no small-message regime in the tuned all-reduce plans")
+	}
+	paper := plan.Bucket(coll.DefaultSwitchSmallBytes)
+	got := plan.Bucket(sw)
+	dist := paper - got
+	if dist < 0 {
+		dist = -dist
+	}
+	t.Logf("derived switch %d KB (bucket %d), paper 256 KB (bucket %d)", sw>>10, got, paper)
+	if dist > 1 {
+		t.Errorf("derived switch %d KB is %d buckets from the paper's 256 KB", sw>>10, dist)
+	}
+}
+
+// The strict-win gate, reproduced from the cold committed cache: at least
+// one measured (not extrapolated) sweep point must record a searched plan
+// strictly faster than every hand-written seed, and re-measuring both from
+// scratch must reproduce the cached times bit-exactly.
+func TestStrictWinReproducibleFromColdCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("p=64 measurements in -short mode")
+	}
+	node := topo.NodeA()
+	const p = 64
+	cache := loadCommitted(t, node, p)
+	var win *plan.Plan
+	for i := range cache.Plans {
+		e := &cache.Plans[i]
+		if e.Source == "searched" && e.PredictedSeconds < e.BestSeedSeconds {
+			win = e
+			break
+		}
+	}
+	if win == nil {
+		t.Fatal("committed cache records no searched plan beating every seed")
+	}
+	c, err := plan.ParseColl(win.Collective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Measure(node, p, c, win.Params, win.SizeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned != win.PredictedSeconds {
+		t.Errorf("cold re-measure of %s %s at %d B: %x, cache records %x (not bit-identical)",
+			win.Collective, win.Params, win.SizeBytes, tuned, win.PredictedSeconds)
+	}
+	seed, err := Measure(node, p, c, plan.Params{Family: win.BestSeed}, win.SizeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != win.BestSeedSeconds {
+		t.Errorf("cold re-measure of seed %s: %x, cache records %x", win.BestSeed, seed, win.BestSeedSeconds)
+	}
+	if !(tuned < seed) {
+		t.Errorf("strict win did not reproduce: tuned %.3es vs seed %s %.3es", tuned, win.BestSeed, seed)
+	}
+	t.Logf("strict win reproduced: %s %s at %d B: %.3es vs %s %.3es",
+		win.Collective, win.Params, win.SizeBytes, tuned, win.BestSeed, seed)
+}

@@ -1,0 +1,137 @@
+package tune
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"yhccl/internal/plan"
+	"yhccl/internal/topo"
+)
+
+// The determinism gate of satellite (d): two cold tuning runs with the same
+// seed and topology must produce byte-identical cache files. Everything
+// feeding the search is deterministic — candidate order, the simulator, the
+// strict-< displacement rule, the canonical sort — so the files must match
+// bit for bit, not just semantically.
+func TestTuneDeterministicByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning run in -short mode")
+	}
+	cfg := Config{Node: topo.NodeA(), Ranks: 8, Quick: true, Seed: 42}
+	dir := t.TempDir()
+	var files [2][]byte
+	for i := range files {
+		cache, err := Tune(cfg)
+		if err != nil {
+			t.Fatalf("cold run %d: %v", i, err)
+		}
+		sub := filepath.Join(dir, string(rune('a'+i)))
+		if _, err := cache.Save(sub); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		b, err := os.ReadFile(filepath.Join(sub, plan.FileName(cfg.Node.Name, cfg.Ranks)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = b
+	}
+	if !bytes.Equal(files[0], files[1]) {
+		t.Errorf("two cold tuning runs produced different cache bytes (%d vs %d bytes)",
+			len(files[0]), len(files[1]))
+	}
+}
+
+// Candidate enumeration is order-deterministic and seeds-first: every
+// IsDefault (seed) candidate precedes every searched variant, so the
+// strict-< displacement rule resolves ties toward seeds.
+func TestCandidatesDeterministicSeedsFirst(t *testing.T) {
+	node := topo.NodeA()
+	for _, c := range plan.Colls() {
+		a := Candidates(c, node, 64, 2<<20)
+		b := Candidates(c, node, 64, 2<<20)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two enumerations differ", c)
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: no candidates", c)
+		}
+		seenSearched := false
+		for i, pr := range a {
+			if pr.IsDefault() && seenSearched {
+				t.Errorf("%s: seed %s at index %d after a searched variant", c, pr, i)
+			}
+			if !pr.IsDefault() {
+				seenSearched = true
+			}
+		}
+	}
+}
+
+// The beats-or-matches gate at a CI-affordable scale: tuned dispatch must
+// match or beat every figure baseline at every quick sweep point, and at
+// least one point must be a strict win over all hand-written seeds —
+// reproduced from a cold cache round-trip (save, load, dispatch).
+func TestVerifyGateQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning run in -short mode")
+	}
+	node, p := topo.NodeA(), 8
+	cache, err := Tune(Config{Node: node, Ranks: p, Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := cache.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := plan.Load(dir, node, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := loaded.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Verify(node, p, table, true)
+	if err != nil {
+		t.Fatalf("beats-or-matches gate: %v", err)
+	}
+	strict := 0
+	for _, pt := range points {
+		if pt.Strict {
+			strict++
+			t.Logf("strict win: %s at %d B: tuned %s %.3es vs best hand %s %.3es",
+				pt.Collective, pt.SizeBytes, pt.Family, pt.Tuned, pt.BestName, pt.BestHand)
+		}
+	}
+	if strict == 0 {
+		t.Error("no sweep point strictly faster than every hand-written baseline")
+	}
+}
+
+// Extrapolated quick caches still cover every bucket of the full sweep
+// domain contiguously, so Lookup never sees a gap.
+func TestQuickCacheCoversFullBucketRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning run in -short mode")
+	}
+	cache, err := Tune(Config{Node: topo.NodeA(), Ranks: 8, Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := cache.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plan.Colls() {
+		full := collSizes(c, false)
+		for _, s := range full {
+			if table.Lookup(c, s) == nil {
+				t.Errorf("%s: no plan at %d B", c, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package tune
+
+import (
+	"fmt"
+
+	"yhccl/internal/bench"
+	"yhccl/internal/coll"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/plan"
+	"yhccl/internal/topo"
+)
+
+// Point is one verified sweep point: the tuned dispatch's simulated time
+// against the best hand-written baseline of the corresponding figure.
+type Point struct {
+	Collective string
+	SizeBytes  int64
+	Tuned      float64
+	BestHand   float64
+	BestName   string
+	// Family is the plan family the table dispatched to.
+	Family string
+	// Strict records a strict win (tuned < every hand-written baseline).
+	Strict bool
+}
+
+// figBaselines lists the hand-written algorithm families each collective
+// is verified against — the union of the fig11 and fig15 baselines
+// (including the production stand-ins and the hand-tuned "yhccl" switch
+// itself). Ties count as passes; the gate fails only if some baseline
+// strictly beats the tuned dispatch at a sweep point.
+func figBaselines(c plan.Coll) []string {
+	switch c {
+	case plan.Allreduce:
+		// fig11a/b + fig15c.
+		return []string{"yhccl", "socket-ma", "ma", "dpml", "rg", "ring", "rabenseifner", "two-level", "cma", "xpmem"}
+	case plan.ReduceScatter:
+		// fig9 + fig15a.
+		return []string{"yhccl", "socket-ma", "ma", "dpml", "ring", "rabenseifner", "two-level", "xpmem"}
+	case plan.Reduce:
+		// fig10 + fig15b.
+		return []string{"yhccl", "socket-ma", "ma", "dpml", "rg", "two-level", "xpmem"}
+	case plan.Bcast:
+		// fig15d.
+		return []string{"yhccl", "binomial", "cma", "xpmem"}
+	case plan.Allgather:
+		// fig15e.
+		return []string{"yhccl", "ring", "xpmem"}
+	}
+	return nil
+}
+
+// Verify measures the tuned dispatch at every fig11/fig15 sweep point on
+// the machine and checks the beats-or-matches gate against every figure
+// baseline. Returns all points (for reporting) and an error naming the
+// first regression if any baseline strictly beats the table's choice.
+func Verify(node *topo.Node, p int, table *plan.Table, quick bool) ([]Point, error) {
+	planner := coll.NewPlanner(table)
+	base := bench.NodeOptions(node)
+	var points []Point
+	var firstErr error
+	for _, c := range plan.Colls() {
+		for _, s := range collSizes(c, quick) {
+			tuned := measureTuned(node, p, c, planner, s, base)
+			bestT, bestName := 0.0, ""
+			strict := true
+			for _, fam := range figBaselines(c) {
+				t, err := Measure(node, p, c, plan.Params{Family: fam}, s)
+				if err != nil {
+					return nil, err
+				}
+				if bestName == "" || t < bestT {
+					bestT, bestName = t, fam
+				}
+				if t <= tuned {
+					strict = false
+				}
+			}
+			entry := table.Lookup(c, lookupBytes(c, p, s))
+			fam := ""
+			if entry != nil {
+				fam = entry.Params.String()
+			}
+			points = append(points, Point{
+				Collective: c.String(), SizeBytes: s,
+				Tuned: tuned, BestHand: bestT, BestName: bestName,
+				Family: fam, Strict: strict,
+			})
+			if tuned > bestT && firstErr == nil {
+				firstErr = fmt.Errorf("tune: %s at %d B: tuned %s took %.3es, hand-written %s %.3es",
+					c, s, fam, tuned, bestName, bestT)
+			}
+		}
+	}
+	return points, firstErr
+}
+
+// lookupBytes maps a figure sweep size to the bytes the Tuned* dispatchers
+// key their lookup on (reduce-scatter sweeps are total message sizes and
+// dispatch on total size, so this is the identity for every collective —
+// kept explicit so the convention is written down once).
+func lookupBytes(c plan.Coll, p int, sBytes int64) int64 { return sBytes }
+
+// measureTuned measures the plan-table dispatch itself through the figure
+// harness — the same one Measure uses for the baselines, so ties are exact.
+func measureTuned(node *topo.Node, p int, c plan.Coll, planner *coll.Planner, sBytes int64, o coll.Options) float64 {
+	switch c {
+	case plan.Allreduce:
+		return bench.MeasureAllreduce(node, p, func(r *mpi.Rank, cm *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o coll.Options) {
+			coll.TunedAllreduce(planner, r, cm, sb, rb, n, op, o)
+		}, sBytes, o)
+	case plan.ReduceScatter:
+		return bench.MeasureReduceScatter(node, p, func(r *mpi.Rank, cm *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o coll.Options) {
+			coll.TunedReduceScatter(planner, r, cm, sb, rb, n, op, o)
+		}, sBytes, o)
+	case plan.Reduce:
+		return bench.MeasureReduce(node, p, func(r *mpi.Rank, cm *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, root int, o coll.Options) {
+			coll.TunedReduce(planner, r, cm, sb, rb, n, op, root, o)
+		}, sBytes, o)
+	case plan.Bcast:
+		return bench.MeasureBcast(node, p, func(r *mpi.Rank, cm *mpi.Comm, buf *memmodel.Buffer, n int64, root int, o coll.Options) {
+			coll.TunedBcast(planner, r, cm, buf, n, root, o)
+		}, sBytes, o)
+	case plan.Allgather:
+		return bench.MeasureAllgather(node, p, func(r *mpi.Rank, cm *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o coll.Options) {
+			coll.TunedAllgather(planner, r, cm, sb, rb, n, o)
+		}, sBytes, o)
+	}
+	panic("unreachable")
+}

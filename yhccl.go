@@ -94,15 +94,22 @@ func NodeB() *Node { return topo.NodeB() }
 func NodeC() *Node { return topo.NodeC() }
 
 // NewMachine creates a machine with p ranks block-bound to cores 0..p-1.
-// real selects whether buffers carry actual data.
+// real selects whether buffers carry actual data. If the repository's
+// plans/ directory holds a tuned-plan cache for (node, p), it is loaded
+// once and attached so the Tuned* entry points dispatch through it (see
+// AttachPlans for explicit directories).
 func NewMachine(node *Node, p int, real bool) *Machine {
-	return mpi.NewMachine(node, p, real)
+	m := mpi.NewMachine(node, p, real)
+	attachDefaultPlans(m)
+	return m
 }
 
 // NewMachineWithBinding creates a machine with an explicit rank-to-core
-// binding.
+// binding. Tuned plans for the rank count are attached as in NewMachine.
 func NewMachineWithBinding(node *Node, rankCores []int, real bool) *Machine {
-	return mpi.NewMachineWithBinding(node, rankCores, real)
+	m := mpi.NewMachineWithBinding(node, rankCores, real)
+	attachDefaultPlans(m)
+	return m
 }
 
 // Allreduce runs YHCCL's all-reduce (two-level parallel reduction below

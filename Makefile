@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: build test test-race race race-fast vet chaos chaos-recover scale engine-compare ci bench bench-baseline bench-compare tune tune-full plan-verify
+.PHONY: build test test-race race race-fast vet chaos chaos-recover scale engine-compare ci bench bench-baseline bench-compare tune tune-full plan-verify serve
 
 # Single CI entrypoint: vet, the full test suite (incl. the fast race pass),
-# both fault-injection gates, the cluster-scale smoke gate, then the
-# tuned-plan pipeline (quick-budget synthesis + the beats-or-matches gate).
-ci: test chaos chaos-recover scale tune plan-verify
+# both fault-injection gates, the cluster-scale smoke gate, the tuned-plan
+# pipeline (quick-budget synthesis + the beats-or-matches gate), then the
+# multi-tenant serving gate.
+ci: test chaos chaos-recover scale tune plan-verify serve
 
 build:
 	$(GO) build ./...
@@ -86,6 +87,12 @@ tune:
 tune-full:
 	$(GO) run ./cmd/yhcclbench -tune -node NodeA -p 64
 	$(GO) run ./cmd/yhcclbench -tune -node NodeB -p 48
+
+# Multi-tenant serving gate: the default mixed stream plus a fault-seeded
+# chaos tenant swept across three offered loads. Exits nonzero if any
+# tenant ends UNDIAGNOSED or the aggregate p99 makespan blows its budget.
+serve:
+	$(GO) run ./cmd/yhcclbench -serve-gate
 
 # Beats-or-matches gate over the committed caches: the tuned dispatch must
 # match or beat every figure baseline at every quick sweep point, with at

@@ -272,7 +272,7 @@ func makeBody(m *mpi.Machine, collective, alg string, s int64) (func(r *mpi.Rank
 			sb := r.PersistentBuffer("osu/sb", n)
 			rb := r.PersistentBuffer("osu/rb", n*p)
 			r.Warm(sb, 0, n)
-			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			f(r, r.World(), sb, rb, n, coll.Options{})
 		}, nil
 	case "gather":
 		f, err := coll.Lookup(coll.GatherAlgos, alg)
@@ -432,7 +432,7 @@ func makeVerifyBody(m *mpi.Machine, collective, alg string, n int64,
 			sb := r.NewBuffer("v/sb", n)
 			rb := r.NewBuffer("v/rb", n*p)
 			r.FillPattern(sb, float64(r.ID()*100000))
-			f(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+			f(r, r.World(), sb, rb, n, coll.Options{})
 			for b := int64(0); b < p; b++ {
 				for i := int64(0); i < n; i += 111 {
 					want := float64(b*100000) + float64(i)

@@ -30,6 +30,7 @@ import (
 	"yhccl/internal/cluster"
 	"yhccl/internal/memmodel"
 	"yhccl/internal/plan"
+	"yhccl/internal/serve"
 	"yhccl/internal/sim"
 	"yhccl/internal/topo"
 	"yhccl/internal/tune"
@@ -278,6 +279,56 @@ func planSynthesize(count *int) func(b *testing.B) {
 	}
 }
 
+// serveAdmission measures the pure scheduling cost of the multi-tenant
+// admission/placement engine — a 256-job saturating stream with an oracle
+// supplying service times, so no simulation runs. One op = one full
+// stream (admission, placement, fluid rate updates, completion).
+func serveAdmission(b *testing.B) {
+	node := topo.NodeA()
+	oracle := func(spec serve.JobSpec, perSocket, ext []int) float64 {
+		s := 1e-3 * float64(spec.Ranks) * float64(spec.Calls)
+		for sk := range perSocket {
+			if perSocket[sk] > 0 && ext[sk] > 0 {
+				s *= 1 + 0.1*float64(ext[sk])
+			}
+		}
+		return s
+	}
+	arrivals, err := serve.GenStream(serve.StreamConfig{
+		Seed: 42, Mix: serve.DefaultMix(), Jobs: 256, Rate: 2000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := serve.NewScheduler(node, serve.PlaceAuto)
+		s.SetServiceOracle(oracle)
+		if _, err := s.Run(arrivals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// serveMixedLoad measures one cold sim-backed load point of the default
+// mix at a saturating rate — the cost `make serve` pays per swept rate,
+// including the memoized service-time measurements.
+func serveMixedLoad(b *testing.B) {
+	node := topo.NodeA()
+	cfg := serve.StreamConfig{Seed: 42, Mix: serve.DefaultMix(), Jobs: 20, Rate: 1600}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lp, err := serve.RunLoad(node, serve.PlaceAuto, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lp.Jobs != cfg.Jobs {
+			b.Fatalf("completed %d of %d jobs", lp.Jobs, cfg.Jobs)
+		}
+	}
+}
+
 // clusterCrossoverProgram is the shared compiled schedule both program
 // benchmarks interpret: the fig16b config (16 nodes x 64 ranks, 2 MB), the
 // apples-to-apples crossover between engines.
@@ -403,6 +454,8 @@ func realMain() int {
 	run("residency_lookup", residencyLookup, rep.Benchmarks)
 	run("plan_lookup", planLookup, rep.Benchmarks)
 	run("plan_synthesize", planSynthesize(&rep.PlanCacheEntries), rep.Benchmarks)
+	run("serve_admission", serveAdmission, rep.Benchmarks)
+	run("serve_mixed_load", serveMixedLoad, rep.Benchmarks)
 
 	fmt.Fprintf(os.Stderr, "running engine parity matrix...\n")
 	nParity, err := engineCompare(false)

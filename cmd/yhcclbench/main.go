@@ -18,6 +18,9 @@
 //	                                 # synthesize the tuned-plan cache into plans/
 //	yhcclbench -plan-verify -node NodeA -p 64
 //	                                 # beats-or-matches gate vs the figure baselines (exit 1 on regression)
+//	yhcclbench -serve                # multi-tenant serving sweep: throughput vs offered load
+//	yhcclbench -serve -place spread -rates 10,40 -jobs 60 -v
+//	yhcclbench -serve-gate           # serving sweep with a fault tenant (exit 1 on gate violation)
 package main
 
 import (
@@ -50,9 +53,24 @@ func main() {
 		nodeF    = flag.String("node", "NodeA", "machine for -tune/-plan-verify: NodeA, NodeB or NodeC")
 		ranksF   = flag.Int("p", 64, "rank count for -tune/-plan-verify")
 		plansF   = flag.String("plans", "", "plan-cache directory (default: the repository's plans/)")
-		seedF    = flag.Uint64("seed", 42, "search seed recorded in the cache (-tune)")
+		seedF    = flag.Uint64("seed", 42, "search seed recorded in the cache (-tune); arrival-stream seed (-serve)")
+		serveF   = flag.Bool("serve", false, "run the multi-tenant serving sweep and exit")
+		sGateF   = flag.Bool("serve-gate", false, "serving sweep with a fault tenant plus the CI gate: exit 1 on any UNDIAGNOSED job or p99 over budget")
+		placeF   = flag.String("place", "auto", "placement policy for -serve: auto, pack or spread")
+		ratesF   = flag.String("rates", "", "comma-separated offered loads in jobs/s for -serve (default 5,20,80)")
+		jobsF    = flag.Int("jobs", 40, "arrival-stream length for -serve")
+		faultsF  = flag.Bool("faults", false, "add a fault-seeded chaos tenant to the -serve mix")
+		verboseF = flag.Bool("v", false, "print per-point admission event logs (-serve)")
 	)
 	flag.Parse()
+
+	if *serveF || *sGateF {
+		faults := *faultsF || *sGateF
+		if err := runServe(os.Stdout, *nodeF, *placeF, *ratesF, *seedF, *jobsF, faults, *sGateF, *verboseF); err != nil {
+			fatalf("serve: %v", err)
+		}
+		return
+	}
 
 	if *tuneF {
 		if err := runTune(os.Stdout, *nodeF, *ranksF, *plansF, *quick, *seedF); err != nil {

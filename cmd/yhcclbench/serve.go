@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"yhccl/internal/resilient"
+	"yhccl/internal/serve"
+)
+
+// defaultServeRates is the reference offered-load sweep (jobs per virtual
+// second): light, moderate and saturating for the default mix on NodeA
+// (mean service ~2 ms → the queueing knee sits near 1000 jobs/s).
+var defaultServeRates = []float64{100, 400, 1600}
+
+// serveGateP99Budget bounds the aggregate p99 makespan at every swept load
+// point for the CI gate (virtual seconds). The saturating point of the
+// default mix with a fault tenant sits well under a second; 2 s leaves
+// headroom for model retuning without masking schedule regressions.
+const serveGateP99Budget = 2.0
+
+// parseRates converts a comma-separated -rates flag value.
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return defaultServeRates, nil
+	}
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || !(v > 0) {
+			return nil, fmt.Errorf("bad rate %q (want positive numbers, comma-separated)", part)
+		}
+		rates = append(rates, v)
+	}
+	return rates, nil
+}
+
+// runServe runs the multi-tenant serving sweep: the default seeded mix
+// (plus a fault-seeded chaos tenant when faults is true) at each offered
+// rate, printing the throughput-vs-load table and, when verbose, each
+// point's admission event log.
+func runServe(w io.Writer, nodeName, placeName, ratesCSV string, seed uint64, jobs int, faults, gate, verbose bool) error {
+	node, err := nodeByName(nodeName)
+	if err != nil {
+		return err
+	}
+	placement, err := serve.ParsePlacement(placeName)
+	if err != nil {
+		return err
+	}
+	rates, err := parseRates(ratesCSV)
+	if err != nil {
+		return err
+	}
+	mix := serve.DefaultMix()
+	if faults {
+		mix = append(mix, serve.JobSpec{
+			Name:       "chaos-tenant",
+			Collective: "allreduce",
+			MsgBytes:   256 << 10,
+			Calls:      4,
+			Ranks:      4,
+			Placement:  serve.PlacePack,
+			Weight:     0.5,
+			FaultSeed:  3,
+		})
+	}
+	points, err := serve.Sweep(node, placement, mix, seed, jobs, rates, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving sweep: node=%s place=%s seed=%d jobs=%d faults=%v\n\n",
+		node.Name, placement, seed, jobs, faults)
+	fmt.Fprint(w, serve.Render(points))
+	for _, lp := range points {
+		if len(lp.Outcomes) > 1 || lp.Undiag > 0 {
+			fmt.Fprintf(w, "\noutcomes at rate=%.3f:\n", lp.Rate)
+			keys := make([]string, 0, len(lp.Outcomes))
+			for out := range lp.Outcomes {
+				keys = append(keys, string(out))
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "  %-24s %d\n", k, lp.Outcomes[resilient.Outcome(k)])
+			}
+		}
+	}
+	if verbose {
+		for _, lp := range points {
+			fmt.Fprintf(w, "\nevent log at rate=%.3f:\n", lp.Rate)
+			for _, line := range lp.EventLog {
+				fmt.Fprintf(w, "  %s\n", line)
+			}
+		}
+	}
+	if gate {
+		violations := serve.Gate(points, serveGateP99Budget)
+		if len(violations) > 0 {
+			fmt.Fprintf(w, "\nserve gate: FAIL\n")
+			for _, v := range violations {
+				fmt.Fprintf(w, "  %s\n", v)
+			}
+			return fmt.Errorf("serve gate: %d violations", len(violations))
+		}
+		fmt.Fprintf(w, "\nserve gate: PASS (zero UNDIAGNOSED, p99 within %.3fs at %d load points)\n",
+			serveGateP99Budget, len(points))
+	}
+	return nil
+}

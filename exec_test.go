@@ -1,0 +1,229 @@
+package yhccl
+
+import (
+	"strings"
+	"testing"
+
+	"yhccl/internal/coll"
+)
+
+// execBody returns a rank body that runs one collective through run and
+// records the shaped buffers so callers can compare outputs.
+func execMakespan(t *testing.T, p int, n int64, run func(r *Rank, sb, rb *Buffer)) float64 {
+	t.Helper()
+	m := NewMachine(NodeA(), p, true)
+	return m.MustRun(func(r *Rank) {
+		// Generous shapes cover every collective's convention (p*n on
+		// both sides); each body slices what it needs.
+		sb := r.NewBuffer("sb", n*int64(p))
+		rb := r.NewBuffer("rb", n*int64(p))
+		r.FillPattern(sb, float64(r.ID()*1000))
+		run(r, sb, rb)
+	})
+}
+
+// TestExecParity proves Exec covers every collective and algorithm the
+// legacy entry points did: for each (collective, algorithm) pair in the
+// registries, the Exec makespan equals the legacy *Alg makespan exactly
+// (same machine shape, same buffers, same fill).
+func TestExecParity(t *testing.T) {
+	const p, n = 8, 1024
+
+	type legacy func(name string, r *Rank, sb, rb *Buffer) error
+	cases := []struct {
+		collective string
+		names      []string
+		old        legacy
+	}{
+		{"allreduce", AlgorithmNames("allreduce"), func(name string, r *Rank, sb, rb *Buffer) error {
+			return AllreduceAlg(name, r, sb, rb, n, Sum, Options{})
+		}},
+		{"reduce-scatter", AlgorithmNames("reduce-scatter"), func(name string, r *Rank, sb, rb *Buffer) error {
+			return ReduceScatterAlg(name, r, sb, rb, n, Sum, Options{})
+		}},
+		{"reduce", AlgorithmNames("reduce"), func(name string, r *Rank, sb, rb *Buffer) error {
+			return ReduceAlg(name, r, sb, rb, n, Sum, 0, Options{})
+		}},
+		{"bcast", AlgorithmNames("bcast"), func(name string, r *Rank, sb, rb *Buffer) error {
+			return BcastAlg(name, r, sb, n, 0, Options{})
+		}},
+		{"allgather", AlgorithmNames("allgather"), func(name string, r *Rank, sb, rb *Buffer) error {
+			return AllgatherAlg(name, r, sb, rb, n, Options{})
+		}},
+	}
+	for _, tc := range cases {
+		if len(tc.names) == 0 {
+			t.Fatalf("%s: empty registry", tc.collective)
+		}
+		for _, name := range tc.names {
+			t.Run(tc.collective+"/"+name, func(t *testing.T) {
+				oldT := execMakespan(t, p, n, func(r *Rank, sb, rb *Buffer) {
+					if err := tc.old(name, r, sb, rb); err != nil {
+						t.Errorf("legacy: %v", err)
+					}
+				})
+				newT := execMakespan(t, p, n, func(r *Rank, sb, rb *Buffer) {
+					if err := Exec(r, Req{Collective: tc.collective, Alg: name,
+						Send: sb, Recv: rb, Count: n, Root: 0}); err != nil {
+						t.Errorf("Exec: %v", err)
+					}
+				})
+				if oldT != newT {
+					t.Errorf("makespan diverged: legacy %v, Exec %v", oldT, newT)
+				}
+			})
+		}
+	}
+}
+
+// TestExecParityExtras covers the non-registry legacy entry points
+// (gather/scatter/alltoall/scan defaults and the switched YHCCL
+// collectives) against their Req equivalents.
+func TestExecParityExtras(t *testing.T) {
+	const p, n = 8, 1024
+	cases := []struct {
+		name string
+		old  func(r *Rank, sb, rb *Buffer)
+		req  Req
+	}{
+		{"allreduce", func(r *Rank, sb, rb *Buffer) { Allreduce(r, sb, rb, n, Sum, Options{}) },
+			Req{Collective: "allreduce", Count: n}},
+		{"reduce-scatter", func(r *Rank, sb, rb *Buffer) { ReduceScatter(r, sb, rb, n, Sum, Options{}) },
+			Req{Collective: "reduce-scatter", Count: n}},
+		{"reduce", func(r *Rank, sb, rb *Buffer) { Reduce(r, sb, rb, n, Sum, 2, Options{}) },
+			Req{Collective: "reduce", Root: 2, Count: n}},
+		{"bcast", func(r *Rank, sb, rb *Buffer) { Bcast(r, sb, n, 1, Options{}) },
+			Req{Collective: "bcast", Root: 1, Count: n}},
+		{"allgather", func(r *Rank, sb, rb *Buffer) { Allgather(r, sb, rb, n, Options{}) },
+			Req{Collective: "allgather", Count: n}},
+		{"gather", func(r *Rank, sb, rb *Buffer) { Gather(r, sb, rb, n, 0, Options{}) },
+			Req{Collective: "gather", Count: n}},
+		{"scatter", func(r *Rank, sb, rb *Buffer) { Scatter(r, sb, rb, n, 0, Options{}) },
+			Req{Collective: "scatter", Count: n}},
+		{"alltoall", func(r *Rank, sb, rb *Buffer) { Alltoall(r, sb, rb, n, Options{}) },
+			Req{Collective: "alltoall", Count: n}},
+		{"scan", func(r *Rank, sb, rb *Buffer) { Scan(r, sb, rb, n, Sum, Options{}) },
+			Req{Collective: "scan", Count: n}},
+		{"tuned-allreduce", func(r *Rank, sb, rb *Buffer) { TunedAllreduce(r, sb, rb, n, Sum, Options{}) },
+			Req{Collective: "allreduce", Tuned: true, Count: n}},
+		{"tuned-allgather", func(r *Rank, sb, rb *Buffer) { TunedAllgather(r, sb, rb, n, Options{}) },
+			Req{Collective: "allgather", Tuned: true, Count: n}},
+		{"resilient-allreduce-depth1", func(r *Rank, sb, rb *Buffer) {
+			o := Options{FallbackDepth: 1}
+			_, f, err := coll.ResilientAR("yhccl", o)
+			if err != nil {
+				t.Errorf("resilient: %v", err)
+				return
+			}
+			f(r, r.World(), sb, rb, n, Sum, o)
+		}, Req{Collective: "allreduce", Resilience: true, Count: n, Options: Options{FallbackDepth: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldT := execMakespan(t, p, n, tc.old)
+			newT := execMakespan(t, p, n, func(r *Rank, sb, rb *Buffer) {
+				q := tc.req
+				q.Send, q.Recv = sb, rb
+				if err := Exec(r, q); err != nil {
+					t.Errorf("Exec: %v", err)
+				}
+			})
+			if oldT != newT {
+				t.Errorf("makespan diverged: legacy %v, Exec %v", oldT, newT)
+			}
+		})
+	}
+}
+
+// TestExecValidation pins the dispatcher's request validation: bad
+// requests error before any rank body runs.
+func TestExecValidation(t *testing.T) {
+	const p, n = 4, 64
+	cases := []struct {
+		name string
+		req  Req
+		want string
+	}{
+		{"empty", Req{}, "Collective is empty"},
+		{"unknown", Req{Collective: "allsum", Count: n}, "unknown collective"},
+		{"count", Req{Collective: "allreduce", Count: 0}, "Count must be positive"},
+		{"tuned+resilient", Req{Collective: "allreduce", Tuned: true, Resilience: true, Count: n}, "mutually exclusive"},
+		{"tuned+alg", Req{Collective: "allreduce", Tuned: true, Alg: "ring", Count: n}, "conflicts"},
+		{"tuned-scan", Req{Collective: "scan", Tuned: true, Count: n}, "paper collectives"},
+		{"resilient-alltoall", Req{Collective: "alltoall", Resilience: true, Count: n}, "paper collectives"},
+		{"nil-buffers", Req{Collective: "allreduce", Count: n}, "must both be set"},
+		{"bcast-nil", Req{Collective: "bcast", Count: n}, "in-place buffer"},
+		{"bad-alg", Req{Collective: "allreduce", Alg: "nope", Count: n}, "unknown algorithm"},
+	}
+	m := NewMachine(NodeB(), p, false)
+	m.MustRun(func(r *Rank) {
+		sb := r.NewBuffer("sb", n*p)
+		rb := r.NewBuffer("rb", n*p)
+		for _, tc := range cases {
+			q := tc.req
+			switch tc.name {
+			case "nil-buffers", "bcast-nil":
+				// leave buffers nil
+			default:
+				q.Send, q.Recv = sb, rb
+			}
+			err := Exec(r, q)
+			if err == nil {
+				if r.ID() == 0 {
+					t.Errorf("%s: expected error, got nil", tc.name)
+				}
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				if r.ID() == 0 {
+					t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+				}
+			}
+		}
+	})
+}
+
+// TestExecAliases pins the accepted collective-name aliases.
+func TestExecAliases(t *testing.T) {
+	const p, n = 4, 256
+	for _, alias := range []struct{ alias, canon string }{
+		{"reducescatter", "reduce-scatter"},
+		{"broadcast", "bcast"},
+	} {
+		a := execMakespan(t, p, n, func(r *Rank, sb, rb *Buffer) {
+			if err := Exec(r, Req{Collective: alias.alias, Send: sb, Recv: rb, Count: n}); err != nil {
+				t.Errorf("%s: %v", alias.alias, err)
+			}
+		})
+		b := execMakespan(t, p, n, func(r *Rank, sb, rb *Buffer) {
+			if err := Exec(r, Req{Collective: alias.canon, Send: sb, Recv: rb, Count: n}); err != nil {
+				t.Errorf("%s: %v", alias.canon, err)
+			}
+		})
+		if a != b {
+			t.Errorf("%s vs %s: makespan %v != %v", alias.alias, alias.canon, a, b)
+		}
+	}
+}
+
+// TestExecDefaultOp pins the zero-Op default: a zero-valued Req.Op reduces
+// with Sum rather than panicking on nil closures.
+func TestExecDefaultOp(t *testing.T) {
+	const p, n = 4, 256
+	m := NewMachine(NodeA(), p, true)
+	m.MustRun(func(r *Rank) {
+		sb := r.NewBuffer("sb", n)
+		rb := r.NewBuffer("rb", n)
+		r.FillPattern(sb, float64(r.ID()))
+		if err := Exec(r, Req{Collective: "allreduce", Send: sb, Recv: rb, Count: n}); err != nil {
+			t.Errorf("Exec: %v", err)
+			return
+		}
+		for i := int64(0); i < n; i += 7 {
+			if got, want := rb.Slice(i, 1)[0], expectSum(p, i); got != want {
+				t.Errorf("rank %d rb[%d] = %v, want %v", r.ID(), i, got, want)
+				return
+			}
+		}
+	})
+}

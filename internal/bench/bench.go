@@ -340,7 +340,7 @@ func measureAllgather(node *topo.Node, p int, alg coll.AGFunc, sBytes int64, o c
 		sb := r.PersistentBuffer("bench/sb", n)
 		rb := r.PersistentBuffer("bench/rb", n*int64(p))
 		r.Warm(sb, 0, n)
-		alg(r, r.World(), sb, rb, n, mpi.Sum, o)
+		alg(r, r.World(), sb, rb, n, o)
 	})
 }
 

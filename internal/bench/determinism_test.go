@@ -81,7 +81,7 @@ func goldenFingerprint(t testing.TB) string {
 			sb := r.PersistentBuffer("g/sb", n)
 			rb := r.PersistentBuffer("g/rb", n*pp)
 			r.Warm(sb, 0, n)
-			coll.AllgatherRing(r, r.World(), sb, rb, n, mpi.Sum, o)
+			coll.AllgatherRing(r, r.World(), sb, rb, n, o)
 		}},
 		// p2p pins the shared-memory transport itself (Send/Recv staging
 		// loops plus the fused receive+reduce), the charge-generating path

@@ -221,7 +221,7 @@ func (c Case) bind(m *mpi.Machine, depth, salt int) (*caseBody, error) {
 			sb := r.NewBuffer("sb", n)
 			rb := r.NewBuffer("rb", int64(p)*n)
 			r.FillPattern(sb, bases[r.ID()])
-			alg(r, r.World(), sb, rb, n, mpi.Sum, o)
+			alg(r, r.World(), sb, rb, n, o)
 			check(coll.ValidateAllgather(opName, r.ID(), rb, n, bases))
 		}
 	default:

@@ -111,7 +111,7 @@ func (c *Cluster) steadyAllgather(label string, n int64, alg coll.AGFunc) float6
 		sb := r.PersistentBuffer(fmt.Sprintf("%s/sb/%d", label, n), n)
 		rb := r.PersistentBuffer(fmt.Sprintf("%s/rb/%d", label, n), n*int64(c.PerNode))
 		r.Warm(sb, 0, n)
-		alg(r, r.World(), sb, rb, n, mpi.Sum, coll.Options{})
+		alg(r, r.World(), sb, rb, n, coll.Options{})
 	}
 	c.machine.MustRun(body)
 	return c.machine.MustRun(body)

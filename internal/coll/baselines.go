@@ -307,8 +307,7 @@ func AllreduceRabenseifner(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n 
 
 // AllgatherRing is the classic ring all-gather over the two-copy
 // transport: rank me contributes sb (n elements) and assembles p*n in rb.
-func AllgatherRing(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, _ Options) {
-	_ = op
+func AllgatherRing(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, _ Options) {
 	p := c.Size()
 	me := c.CommRank(r.ID())
 	r.CopyElems(rb, int64(me)*n, sb, 0, n, memmodel.Temporal)

@@ -136,7 +136,7 @@ func TestAllgatherRingCorrect(t *testing.T) {
 			sb := r.NewBuffer("sb", n)
 			rb := r.NewBuffer("rb", int64(p)*n)
 			r.FillPattern(sb, float64(r.ID()*100000))
-			AllgatherRing(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+			AllgatherRing(r, r.World(), sb, rb, n, Options{})
 			for b := 0; b < p; b++ {
 				for j := int64(0); j < n; j += 97 {
 					want := float64(b*100000) + float64(j)

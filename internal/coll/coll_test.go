@@ -75,7 +75,7 @@ func runAG(t *testing.T, p int, n int64, o Options, alg AGFunc) *mpi.Machine {
 		sb := r.NewBuffer("sb", n)
 		rb := r.NewBuffer("rb", int64(p)*n)
 		r.FillPattern(sb, float64(r.ID()*100000))
-		alg(r, r.World(), sb, rb, n, mpi.Sum, o)
+		alg(r, r.World(), sb, rb, n, o)
 		for b := 0; b < p; b++ {
 			for j := int64(0); j < n; j += 53 {
 				want := float64(b*100000) + float64(j)

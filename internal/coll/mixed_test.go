@@ -66,7 +66,7 @@ func TestMixedCollectivesShareMachine(t *testing.T) {
 			t.Errorf("bcast after allreduce: %v", got)
 		}
 
-		AllgatherPipelined(r, r.World(), small, big, n, mpi.Sum, Options{})
+		AllgatherPipelined(r, r.World(), small, big, n, Options{})
 		if got := big.Slice(int64(p-1)*n, 1)[0]; got != 42 {
 			t.Errorf("allgather after bcast: %v", got)
 		}

@@ -68,7 +68,7 @@ func BcastPipelined(r *mpi.Rank, c *mpi.Comm, buf *memmodel.Buffer, n int64, roo
 // through its own double-buffered slot pair while copying everyone's
 // previous slice into its receive buffer. sb has n elements; rb has p*n.
 // W = sp + sp^2 + 2pI.
-func AllgatherPipelined(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, _ mpi.Op, o Options) {
+func AllgatherPipelined(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, o Options) {
 	o = o.withDefaults()
 	p := int64(c.Size())
 	me := int64(c.CommRank(r.ID()))

@@ -188,12 +188,12 @@ func TunedAllgather(pl *Planner, r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buff
 		entry = pl.table.Lookup(plan.Allgather, n*memmodel.ElemSize)
 	}
 	if entry == nil {
-		AllgatherPipelined(r, c, sb, rb, n, mpi.Sum, o)
+		AllgatherPipelined(r, c, sb, rb, n, o)
 		return
 	}
 	f, err := Lookup(AllgatherAlgos, entry.Params.Family)
 	if err != nil {
 		panic(err)
 	}
-	f(r, c, sb, rb, n, mpi.Sum, ApplyParams(o, entry.Params))
+	f(r, c, sb, rb, n, ApplyParams(o, entry.Params))
 }

@@ -170,8 +170,8 @@ func InstrumentBcast(name string, f BcastFunc) BcastFunc {
 
 // InstrumentAG wraps an all-gather with SetOp attribution.
 func InstrumentAG(name string, f AGFunc) AGFunc {
-	return func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options) {
+	return func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, o Options) {
 		r.SetOp("allgather/" + name)
-		f(r, c, sb, rb, n, op, o)
+		f(r, c, sb, rb, n, o)
 	}
 }

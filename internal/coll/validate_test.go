@@ -122,7 +122,7 @@ func TestValidateReduceScatterAndBcastAndAllgather(t *testing.T) {
 		sb := r.NewBuffer("sb", n)
 		rb := r.NewBuffer("rb", int64(p)*n)
 		r.FillPattern(sb, bases[r.ID()])
-		AllgatherRing(r, r.World(), sb, rb, n, mpi.Sum, Options{})
+		AllgatherRing(r, r.World(), sb, rb, n, Options{})
 		if err := ValidateAllgather("ag/ring", r.ID(), rb, n, bases); err != nil {
 			t.Errorf("allgather: %v", err)
 		}

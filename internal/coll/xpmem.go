@@ -145,7 +145,7 @@ func BcastXPMEM(r *mpi.Rank, c *mpi.Comm, buf *memmodel.Buffer, n int64, root in
 
 // AllgatherXPMEM is the direct-access all-gather: every rank copies each
 // peer's contribution straight from the peer's send buffer.
-func AllgatherXPMEM(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, _ mpi.Op, o Options) {
+func AllgatherXPMEM(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, o Options) {
 	p := int64(c.Size())
 	me := int64(c.CommRank(r.ID()))
 	r.CopyElems(rb, me*n, sb, 0, n, memmodel.Temporal)

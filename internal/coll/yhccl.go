@@ -26,8 +26,10 @@ type ReduceFunc func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64,
 // BcastFunc is a broadcast over a single n-element buffer.
 type BcastFunc func(r *mpi.Rank, c *mpi.Comm, buf *memmodel.Buffer, n int64, root int, o Options)
 
-// AGFunc is an all-gather: sb has n elements, rb has p*n.
-type AGFunc func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o Options)
+// AGFunc is an all-gather: sb has n elements, rb has p*n. All-gather moves
+// data without reducing it, so — unlike the reduction signatures above — it
+// takes no Op.
+type AGFunc func(r *mpi.Rank, c *mpi.Comm, sb, rb *memmodel.Buffer, n int64, o Options)
 
 // ReduceScatterYHCCL applies the paper's algorithm switch: two-level
 // parallel reduction at or below SwitchSmallBytes of total message,

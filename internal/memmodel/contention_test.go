@@ -1,0 +1,97 @@
+package memmodel
+
+import (
+	"testing"
+
+	"yhccl/internal/topo"
+)
+
+// TestNewSharedSoloIdentity proves the co-tenancy extension leaves solo
+// models bit-identical: nil and all-zero external slices reproduce New's
+// bandwidth shares and cache capacities exactly, so Version stays valid.
+func TestNewSharedSoloIdentity(t *testing.T) {
+	node := topo.NodeA()
+	cores := make([]int, 48)
+	for i := range cores {
+		cores[i] = i
+	}
+	base := New(node, cores)
+	for _, ext := range [][]int{nil, {0, 0}, {0}} {
+		m := NewShared(node, cores, ext)
+		for s := 0; s < node.Sockets; s++ {
+			if got, want := m.DRAMBandwidthPerRank(s), base.DRAMBandwidthPerRank(s); got != want {
+				t.Errorf("ext=%v socket %d: dram share %v != %v", ext, s, got, want)
+			}
+			if got, want := m.CacheBandwidthPerRank(s), base.CacheBandwidthPerRank(s); got != want {
+				t.Errorf("ext=%v socket %d: cache share %v != %v", ext, s, got, want)
+			}
+			if got, want := m.caches[s].capacity, base.caches[s].capacity; got != want {
+				t.Errorf("ext=%v socket %d: capacity %d != %d", ext, s, got, want)
+			}
+			if m.ExternalOnSocket(s) != 0 {
+				t.Errorf("ext=%v socket %d: external %d != 0", ext, s, m.ExternalOnSocket(s))
+			}
+		}
+	}
+}
+
+// TestNewSharedContention pins the contention arithmetic: external ranks
+// join the bandwidth divisor and shrink the LLC share proportionally.
+func TestNewSharedContention(t *testing.T) {
+	node := topo.NodeA()
+	// 8 own ranks on socket 0, none on socket 1.
+	cores := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	solo := New(node, cores)
+	m := NewShared(node, cores, []int{8, 0})
+
+	if got := m.ExternalOnSocket(0); got != 8 {
+		t.Fatalf("external on socket 0 = %d, want 8", got)
+	}
+	// 8 own + 8 external share the socket: per-rank share is the socket
+	// bandwidth over 16 (unless the per-core cap binds first).
+	want := minf(node.DRAMBandwidthPerCore, node.DRAMBandwidthPerSocket/16)
+	if got := m.DRAMBandwidthPerRank(0); got != want {
+		t.Errorf("dram share = %v, want %v", got, want)
+	}
+	if m.DRAMBandwidthPerRank(0) >= solo.DRAMBandwidthPerRank(0) {
+		t.Errorf("contended dram share %v not below solo %v",
+			m.DRAMBandwidthPerRank(0), solo.DRAMBandwidthPerRank(0))
+	}
+	if m.CacheBandwidthPerRank(0) >= solo.CacheBandwidthPerRank(0) {
+		t.Errorf("contended cache share %v not below solo %v",
+			m.CacheBandwidthPerRank(0), solo.CacheBandwidthPerRank(0))
+	}
+	// LLC share: own/(own+ext) = 1/2 of the socket L3 (plus own private
+	// L2s on non-inclusive parts).
+	wantCap := node.L3PerSocket * 8 / 16
+	if !node.L3Inclusive {
+		wantCap += 8 * node.L2PerCore
+	}
+	if got := m.caches[0].capacity; got != wantCap {
+		t.Errorf("contended capacity = %d, want %d", got, wantCap)
+	}
+	if m.caches[0].capacity >= solo.caches[0].capacity {
+		t.Errorf("contended capacity %d not below solo %d",
+			m.caches[0].capacity, solo.caches[0].capacity)
+	}
+	// The untouched socket keeps solo shares.
+	if got, want := m.DRAMBandwidthPerRank(1), solo.DRAMBandwidthPerRank(1); got != want {
+		t.Errorf("socket 1 dram share changed: %v != %v", got, want)
+	}
+}
+
+// TestNewSharedValidation pins the constructor's panics.
+func TestNewSharedValidation(t *testing.T) {
+	node := topo.NodeB()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative", func() { NewShared(node, []int{0, 1}, []int{-1}) })
+	mustPanic("too-many-sockets", func() { NewShared(node, []int{0, 1}, []int{0, 0, 0}) })
+}

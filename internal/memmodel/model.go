@@ -92,14 +92,35 @@ type Model struct {
 	// multiplication the per-op path used to perform, done once at model
 	// construction, so charged times are bit-identical.
 	dramBW [][]float64
+
+	// external[s] is the number of co-tenant ranks (other jobs on the same
+	// physical socket) sharing socket s's DRAM/L3 bandwidth and LLC
+	// capacity. All-zero for a solo job.
+	external []int
 }
 
 // New builds a model for the node with the given rank-to-core binding
 // (rankCores[i] is the core rank i is pinned to). Bandwidth shares are the
 // steady-state division of per-socket resources among the ranks bound there.
 func New(node *topo.Node, rankCores []int) *Model {
+	return NewShared(node, rankCores, nil)
+}
+
+// NewShared builds a co-tenant model: externalPerSocket[s] ranks of OTHER
+// jobs run on socket s. Cores are exclusively leased per job, but the
+// socket-shared resources are not — each external rank joins the divisor of
+// the per-rank DRAM and L3 bandwidth shares, and the job's LLC capacity
+// share shrinks to own/(own+external) of the socket's L3 (private L2s stay
+// private on non-inclusive parts). With no external ranks the arithmetic is
+// exactly New's, so solo-job behaviour — and therefore Version and every
+// golden-determinism baseline — is unchanged.
+func NewShared(node *topo.Node, rankCores []int, externalPerSocket []int) *Model {
 	if err := node.Validate(); err != nil {
 		panic(fmt.Sprintf("memmodel: invalid node: %v", err))
+	}
+	if len(externalPerSocket) > node.Sockets {
+		panic(fmt.Sprintf("memmodel: %d external-rank entries for %d sockets",
+			len(externalPerSocket), node.Sockets))
 	}
 	m := &Model{
 		Node:           node,
@@ -110,6 +131,13 @@ func New(node *topo.Node, rankCores []int) *Model {
 		dramBWPerRank:  make([]float64, node.Sockets),
 		cacheBWPerRank: make([]float64, node.Sockets),
 		dramBW:         make([][]float64, node.Sockets),
+		external:       make([]int, node.Sockets),
+	}
+	for s, e := range externalPerSocket {
+		if e < 0 {
+			panic(fmt.Sprintf("memmodel: negative external rank count %d on socket %d", e, s))
+		}
+		m.external[s] = e
 	}
 	for core := range m.coreSocket {
 		m.coreSocket[core] = node.SocketOf(core)
@@ -119,22 +147,29 @@ func New(node *topo.Node, rankCores []int) *Model {
 		m.ranksPerSocket[node.SocketOf(core)]++
 	}
 	for s := 0; s < node.Sockets; s++ {
+		own := m.ranksPerSocket[s]
+		ext := m.external[s]
 		// The socket-level residency capacity follows the paper's
 		// available-cache rule, applied per socket: shared LLC plus (on
 		// non-inclusive parts) the private L2s of the ranks bound here.
+		// Co-tenants claim their proportional LLC share; the ext == 0
+		// branch keeps the solo value bit-identical (no division).
 		capacity := node.L3PerSocket
+		if ext > 0 && own > 0 {
+			capacity = node.L3PerSocket * int64(own) / int64(own+ext)
+		}
 		if !node.L3Inclusive {
-			capacity += int64(m.ranksPerSocket[s]) * node.L2PerCore
+			capacity += int64(own) * node.L2PerCore
 		}
 		m.caches[s] = newCacheState(s, capacity)
-		ranks := m.ranksPerSocket[s]
-		if ranks == 0 {
-			ranks = 1
+		sharers := own + ext
+		if sharers == 0 {
+			sharers = 1
 		}
 		m.dramBWPerRank[s] = minf(node.DRAMBandwidthPerCore,
-			node.DRAMBandwidthPerSocket/float64(ranks))
+			node.DRAMBandwidthPerSocket/float64(sharers))
 		m.cacheBWPerRank[s] = minf(node.CacheBandwidthPerCore,
-			node.L3BandwidthPerSocket/float64(ranks))
+			node.L3BandwidthPerSocket/float64(sharers))
 		m.dramBW[s] = make([]float64, node.Sockets)
 		for home := 0; home < node.Sockets; home++ {
 			bw := m.dramBWPerRank[s]
@@ -414,6 +449,10 @@ func (m *Model) Warm(core int, b *Buffer, off, n int64) {
 
 // RanksOnSocket returns how many ranks the binding placed on a socket.
 func (m *Model) RanksOnSocket(s int) int { return m.ranksPerSocket[s] }
+
+// ExternalOnSocket returns how many co-tenant ranks share socket s (zero
+// for a solo-job model).
+func (m *Model) ExternalOnSocket(s int) int { return m.external[s] }
 
 // DRAMBandwidthPerRank exposes the per-rank DRAM share (for tests and the
 // analytic harness).

@@ -1,0 +1,89 @@
+package mpi
+
+import (
+	"testing"
+
+	"yhccl/internal/memmodel"
+	"yhccl/internal/topo"
+)
+
+// contendedCopy is a bandwidth-bound rank body: stream a DRAM-sized buffer
+// through a non-temporal copy, the access pattern the paper's cost model is
+// calibrated on.
+func contendedCopy(n int64) func(r *Rank) {
+	return func(r *Rank) {
+		src := r.PersistentBuffer("ct/src", n)
+		dst := r.PersistentBuffer("ct/dst", n)
+		r.CopyElems(dst, 0, src, 0, n, memmodel.NonTemporal)
+	}
+}
+
+// TestContentionMonotonic proves a co-tenant job is strictly slower than
+// the same job solo, and that more neighbors slow it further.
+func TestContentionMonotonic(t *testing.T) {
+	node := topo.NodeA()
+	cores := []int{0, 1, 2, 3}
+	const n = 1 << 20 // 8 MB per rank: DRAM-bound
+	run := func(ext []int) float64 {
+		m := NewMachineWithContention(node, cores, ext, false)
+		return m.MustRun(contendedCopy(n))
+	}
+	solo := run(nil)
+	co8 := run([]int{8, 0})
+	co24 := run([]int{24, 0})
+	if !(solo < co8) {
+		t.Errorf("co-tenant (8 ext) %v not strictly slower than solo %v", co8, solo)
+	}
+	if !(co8 < co24) {
+		t.Errorf("24 ext %v not strictly slower than 8 ext %v", co24, co8)
+	}
+}
+
+// TestContentionSoloIdentity proves the nil-external machine is
+// bit-identical to NewMachineWithBinding for the same workload.
+func TestContentionSoloIdentity(t *testing.T) {
+	node := topo.NodeB()
+	cores := []int{0, 1, 2, 3, 4, 5}
+	const n = 1 << 16
+	a := NewMachineWithBinding(node, cores, false).MustRun(contendedCopy(n))
+	b := NewMachineWithContention(node, cores, nil, false).MustRun(contendedCopy(n))
+	c := NewMachineWithContention(node, cores, []int{0, 0}, false).MustRun(contendedCopy(n))
+	if a != b || a != c {
+		t.Errorf("solo makespans diverge: binding %v, nil-ext %v, zero-ext %v", a, b, c)
+	}
+}
+
+// TestContentionSurvivesShrink proves Shrink carries the co-tenancy state
+// into the survivor machine: the shrunk machine's model still counts the
+// neighbors.
+func TestContentionSurvivesShrink(t *testing.T) {
+	node := topo.NodeA()
+	cores := []int{0, 1, 2, 3}
+	m := NewMachineWithContention(node, cores, []int{8, 0}, false)
+	nm, _, err := m.Shrink([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nm.Model.ExternalOnSocket(0); got != 8 {
+		t.Errorf("shrunk machine external = %d, want 8", got)
+	}
+	ext := nm.External()
+	if len(ext) != 2 || ext[0] != 8 {
+		t.Errorf("shrunk machine External() = %v, want [8 0]", ext)
+	}
+}
+
+// TestContentionSurvivesQuarantine proves a rebind (quarantine onto a
+// spare) keeps the co-tenancy state.
+func TestContentionSurvivesQuarantine(t *testing.T) {
+	node := topo.NodeA()
+	cores := []int{0, 1, 2, 3}
+	m := NewMachineWithContention(node, cores, []int{8, 0}, false)
+	m.spareCores = []int{10}
+	if _, err := m.Quarantine(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Model.ExternalOnSocket(0); got != 8 {
+		t.Errorf("post-quarantine external = %d, want 8", got)
+	}
+}

@@ -46,6 +46,12 @@ type Machine struct {
 	// successful Run, in rank order.
 	lastClocks []float64
 
+	// external[s] is the number of co-tenant ranks (other jobs) sharing
+	// socket s's bandwidth and LLC (see memmodel.NewShared). Preserved
+	// across rebind and Shrink so a quarantined or shrunk tenant stays
+	// subject to the same neighbors. Nil for a solo machine.
+	external []int
+
 	// tuned is the machine's tuned-plan dispatch state, attached once at
 	// creation by the facade (loaded from the plan cache) and consulted by
 	// the Tuned* collectives. Held untyped so this low-level package does
@@ -70,11 +76,24 @@ func NewMachine(node *topo.Node, p int, real bool) *Machine {
 // NewMachineWithBinding creates a machine with an explicit rank-to-core
 // binding (for scatter/imbalance studies).
 func NewMachineWithBinding(node *topo.Node, rankCores []int, real bool) *Machine {
+	return NewMachineWithContention(node, rankCores, nil, real)
+}
+
+// NewMachineWithContention creates a machine whose ranks co-tenant a node
+// with other jobs: externalPerSocket[s] foreign ranks share socket s's DRAM
+// and L3 bandwidth and its LLC capacity (cores stay exclusively leased; see
+// memmodel.NewShared). A nil or all-zero slice is exactly
+// NewMachineWithBinding. The contention state survives rebind (Quarantine)
+// and Shrink: a recovering tenant keeps paying for its neighbors.
+func NewMachineWithContention(node *topo.Node, rankCores, externalPerSocket []int, real bool) *Machine {
 	m := &Machine{
 		Node:      node,
-		Model:     memmodel.New(node, rankCores),
+		Model:     memmodel.NewShared(node, rankCores, externalPerSocket),
 		RankCores: rankCores,
 		Real:      real,
+	}
+	if externalPerSocket != nil {
+		m.external = append([]int(nil), externalPerSocket...)
 	}
 	m.initComms()
 	return m
@@ -130,7 +149,7 @@ func (m *Machine) initComms() {
 // Cache residency is deliberately dropped — a remapped process starts cold.
 func (m *Machine) rebind(rankCores []int) {
 	m.RankCores = rankCores
-	m.Model = memmodel.New(m.Node, rankCores)
+	m.Model = memmodel.NewShared(m.Node, rankCores, m.external)
 	m.initComms()
 }
 
@@ -184,10 +203,19 @@ func (m *Machine) Shrink(exclude []int) (*Machine, []int, error) {
 	if len(survivors) < 2 {
 		return nil, nil, fmt.Errorf("mpi: shrink leaves %d rank(s); need at least 2", len(survivors))
 	}
-	nm := NewMachineWithBinding(m.Node, cores, m.Real)
+	nm := NewMachineWithContention(m.Node, cores, m.external, m.Real)
 	nm.Watchdog = m.Watchdog
 	nm.spareCores = append([]int(nil), m.spareCores...)
 	return nm, survivors, nil
+}
+
+// External returns the per-socket co-tenant rank counts this machine was
+// built with (nil for a solo machine).
+func (m *Machine) External() []int {
+	if m.external == nil {
+		return nil
+	}
+	return append([]int(nil), m.external...)
 }
 
 // RankClocks returns each rank's final virtual clock from the most recent

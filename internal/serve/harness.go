@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"yhccl/internal/resilient"
+	"yhccl/internal/topo"
+)
+
+// Open-loop arrival harness: a seeded PRNG draws exponential interarrivals
+// at an offered rate and weight-proportional job classes, the scheduler
+// runs the stream to completion, and the harness aggregates per-class
+// p50/p99 makespans and aggregate throughput. Everything downstream of the
+// seed is deterministic, so a load point is replayable byte-for-byte.
+
+// splitmix64 is the stream PRNG (same generator internal/fault uses, kept
+// private there).
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+// StreamConfig parameterizes one open-loop arrival stream.
+type StreamConfig struct {
+	Seed uint64
+	// Mix is the set of job classes; classes are drawn with probability
+	// proportional to their Weight.
+	Mix []JobSpec
+	// Jobs is the stream length.
+	Jobs int
+	// Rate is the offered load in job arrivals per virtual second;
+	// interarrivals are exponential with mean 1/Rate.
+	Rate float64
+}
+
+// GenStream draws a deterministic arrival stream from the config.
+func GenStream(cfg StreamConfig) ([]Arrival, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("serve: stream needs a positive job count")
+	}
+	if !(cfg.Rate > 0) {
+		return nil, fmt.Errorf("serve: stream needs a positive offered rate")
+	}
+	if len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("serve: stream needs a non-empty mix")
+	}
+	totalW := 0.0
+	for _, spec := range cfg.Mix {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		totalW += spec.Weight
+	}
+	if !(totalW > 0) {
+		return nil, fmt.Errorf("serve: mix has no positive weight")
+	}
+	rng := splitmix64{state: cfg.Seed}
+	rng.next() // discard the first output: low-entropy seeds warm up
+	t := 0.0
+	arrivals := make([]Arrival, 0, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		t += -math.Log(1-rng.float64()) / cfg.Rate
+		v := rng.float64() * totalW
+		pick := cfg.Mix[len(cfg.Mix)-1]
+		for _, spec := range cfg.Mix {
+			if v < spec.Weight {
+				pick = spec
+				break
+			}
+			v -= spec.Weight
+		}
+		arrivals = append(arrivals, Arrival{At: t, Spec: pick})
+	}
+	return arrivals, nil
+}
+
+// ClassStats aggregates one job class at one load point.
+type ClassStats struct {
+	Name string
+	Jobs int
+	P50  float64 // median submission-to-completion makespan
+	P99  float64
+}
+
+// LoadPoint is the harness output for one offered rate.
+type LoadPoint struct {
+	Rate       float64
+	Jobs       int
+	Makespan   float64 // virtual time of the last completion
+	Throughput float64 // aggregate throughput: Jobs / Makespan
+	P50        float64 // across all classes
+	P99        float64
+	Classes    []ClassStats // sorted by class name
+	Outcomes   map[resilient.Outcome]int
+	Undiag     int // jobs the supervisor could not diagnose
+	EventLog   []string
+	Placement  Placement
+}
+
+// percentile returns the nearest-rank q-quantile of a sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RunLoad generates one stream and runs it through a fresh scheduler.
+func RunLoad(node *topo.Node, placement Placement, cfg StreamConfig, oracle Oracle) (LoadPoint, error) {
+	arrivals, err := GenStream(cfg)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	s := NewScheduler(node, placement)
+	if oracle != nil {
+		s.SetServiceOracle(oracle)
+	}
+	results, err := s.Run(arrivals)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	return summarize(results, cfg.Rate, placement, s.EventLog()), nil
+}
+
+// summarize folds completed-job results into a LoadPoint.
+func summarize(results []JobResult, rate float64, placement Placement, log []string) LoadPoint {
+	lp := LoadPoint{
+		Rate:      rate,
+		Jobs:      len(results),
+		Outcomes:  make(map[resilient.Outcome]int),
+		EventLog:  log,
+		Placement: placement,
+	}
+	var all []float64
+	byClass := make(map[string][]float64)
+	for _, r := range results {
+		ms := r.Makespan()
+		all = append(all, ms)
+		byClass[r.Class] = append(byClass[r.Class], ms)
+		if r.Done > lp.Makespan {
+			lp.Makespan = r.Done
+		}
+		lp.Outcomes[r.Outcome]++
+		if r.Outcome == resilient.Undiagnosed {
+			lp.Undiag++
+		}
+	}
+	sort.Float64s(all)
+	lp.P50 = percentile(all, 0.50)
+	lp.P99 = percentile(all, 0.99)
+	if lp.Makespan > 0 {
+		lp.Throughput = float64(lp.Jobs) / lp.Makespan
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ms := byClass[name]
+		sort.Float64s(ms)
+		lp.Classes = append(lp.Classes, ClassStats{
+			Name: name,
+			Jobs: len(ms),
+			P50:  percentile(ms, 0.50),
+			P99:  percentile(ms, 0.99),
+		})
+	}
+	return lp
+}
+
+// Sweep runs the same seeded mix at several offered rates (one fresh
+// scheduler per point — measurements do not leak across points, though
+// within a point they are memoized).
+func Sweep(node *topo.Node, placement Placement, mix []JobSpec, seed uint64, jobs int, rates []float64, oracle Oracle) ([]LoadPoint, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("serve: sweep needs at least one offered rate")
+	}
+	points := make([]LoadPoint, 0, len(rates))
+	for _, rate := range rates {
+		lp, err := RunLoad(node, placement, StreamConfig{Seed: seed, Mix: mix, Jobs: jobs, Rate: rate}, oracle)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, lp)
+	}
+	return points, nil
+}
+
+// Gate checks serving invariants over a sweep: every fault-seeded tenant
+// must at least diagnose (zero UNDIAGNOSED anywhere), and the aggregate
+// p99 makespan at every load point must stay within budget. Returns the
+// violations (empty means pass).
+func Gate(points []LoadPoint, p99Budget float64) []string {
+	var violations []string
+	for _, lp := range points {
+		if lp.Undiag > 0 {
+			violations = append(violations,
+				fmt.Sprintf("rate=%.3f: %d UNDIAGNOSED jobs", lp.Rate, lp.Undiag))
+		}
+		if p99Budget > 0 && lp.P99 > p99Budget {
+			violations = append(violations,
+				fmt.Sprintf("rate=%.3f: p99 %.6fs exceeds budget %.6fs", lp.Rate, lp.P99, p99Budget))
+		}
+	}
+	return violations
+}
+
+// Render formats a sweep as the throughput-vs-offered-load table used by
+// the CLI and EXPERIMENTS.md.
+func Render(points []LoadPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-9s %6s %12s %12s %12s %12s\n",
+		"rate(j/s)", "place", "jobs", "tput(j/s)", "p50(s)", "p99(s)", "span(s)")
+	for _, lp := range points {
+		fmt.Fprintf(&b, "%-10.3f %-9s %6d %12.4f %12.6f %12.6f %12.4f\n",
+			lp.Rate, lp.Placement, lp.Jobs, lp.Throughput, lp.P50, lp.P99, lp.Makespan)
+		for _, c := range lp.Classes {
+			fmt.Fprintf(&b, "  %-17s %6d %12s %12.6f %12.6f\n",
+				c.Name, c.Jobs, "", c.P50, c.P99)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"fmt"
+
+	"yhccl/internal/coll"
+	"yhccl/internal/fault"
+	"yhccl/internal/memmodel"
+	"yhccl/internal/mpi"
+	"yhccl/internal/resilient"
+	"yhccl/internal/topo"
+)
+
+// Service-time measurement: the scheduler's fluid rates come from real sim
+// runs of the job body on a machine with exactly the job's per-socket rank
+// shape and the current co-tenant counts folded into the bandwidth shares
+// (mpi.NewMachineWithContention). Measurements are memoized per distinct
+// (spec, shape, contention) state — the binding is canonicalized to the
+// lowest cores of each socket, so two jobs with the same shape share one
+// measurement no matter which cores they actually lease.
+
+// Oracle replaces the sim-backed service-time measurement (used by
+// scheduler micro-benchmarks that exercise admission/placement logic
+// without paying for simulation). It must be deterministic.
+type Oracle func(spec JobSpec, perSocket, ext []int) float64
+
+// measured is one memoized measurement: the service time and, for
+// fault-seeded jobs, the supervisor's verdict.
+type measured struct {
+	t   float64
+	out resilient.Outcome
+}
+
+// measurer memoizes sim-backed service times for one node.
+type measurer struct {
+	node   *topo.Node
+	memo   map[string]measured
+	oracle Oracle
+}
+
+func newMeasurer(node *topo.Node) *measurer {
+	return &measurer{node: node, memo: make(map[string]measured)}
+}
+
+// key canonicalizes a measurement request.
+func measureKey(spec JobSpec, perSocket, ext []int) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%v|%v",
+		spec.Collective, spec.Alg, spec.MsgBytes, spec.Calls, spec.FaultSeed, perSocket, ext)
+}
+
+// canonicalCores turns a per-socket shape into a deterministic binding on
+// the lowest cores of each socket.
+func canonicalCores(node *topo.Node, perSocket []int) []int {
+	var cores []int
+	for s, k := range perSocket {
+		base := s * node.CoresPerSocket
+		for i := 0; i < k; i++ {
+			cores = append(cores, base+i)
+		}
+	}
+	return cores
+}
+
+// service returns the job's total service time (all Calls) on its shape
+// under the given per-socket co-tenant counts. Healthy jobs are measured
+// model-only; fault-seeded jobs run supervised on real data (bit-flip
+// validation needs payloads) via faultService.
+func (ms *measurer) service(spec JobSpec, perSocket, ext []int) float64 {
+	return ms.measure(spec, perSocket, ext).t
+}
+
+// measure is the memoized entry behind service and outcome.
+func (ms *measurer) measure(spec JobSpec, perSocket, ext []int) measured {
+	if ms.oracle != nil {
+		return measured{t: ms.oracle(spec, perSocket, ext), out: resilient.CleanPass}
+	}
+	k := measureKey(spec, perSocket, ext)
+	if m, ok := ms.memo[k]; ok {
+		return m
+	}
+	var m measured
+	if spec.FaultSeed != 0 {
+		m.t, m.out = ms.faultService(spec, perSocket, ext)
+	} else {
+		m = measured{t: ms.healthyService(spec, perSocket, ext), out: resilient.CleanPass}
+	}
+	ms.memo[k] = m
+	return m
+}
+
+// healthyService measures the full Calls-loop once, cold, on a contended
+// machine. Cold-start costs appear identically in every contention state,
+// so solo/co-tenant ratios — all the scheduler consumes — stay meaningful.
+func (ms *measurer) healthyService(spec JobSpec, perSocket, ext []int) float64 {
+	m := mpi.NewMachineWithContention(ms.node, canonicalCores(ms.node, perSocket), ext, false)
+	body, err := healthyBody(spec, m.Size())
+	if err != nil {
+		panic(err) // specs are validated at submission; this is a scheduler bug
+	}
+	return m.MustRun(body)
+}
+
+// healthyBody builds the model-only per-rank loop for a spec: Calls
+// back-to-back collective calls with OSU-style buffer re-warming between
+// iterations.
+func healthyBody(spec JobSpec, p int) (func(*mpi.Rank), error) {
+	n := spec.MsgBytes / memmodel.ElemSize
+	if n < 1 {
+		n = 1
+	}
+	calls := spec.Calls
+	alg := spec.Alg
+	if alg == "" {
+		alg = "yhccl"
+	}
+	o := coll.Options{}
+	pp := int64(p)
+	switch spec.Collective {
+	case "allreduce":
+		f, err := coll.Lookup(coll.AllreduceAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("serve/sb", n)
+			rb := r.PersistentBuffer("serve/rb", n)
+			for i := 0; i < calls; i++ {
+				r.Warm(sb, 0, n)
+				f(r, r.World(), sb, rb, n, mpi.Sum, o)
+			}
+		}, nil
+	case "reduce-scatter":
+		f, err := coll.Lookup(coll.ReduceScatterAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("serve/sb", n*pp)
+			rb := r.PersistentBuffer("serve/rb", n)
+			for i := 0; i < calls; i++ {
+				r.Warm(sb, 0, n*pp)
+				f(r, r.World(), sb, rb, n, mpi.Sum, o)
+			}
+		}, nil
+	case "reduce":
+		f, err := coll.Lookup(coll.ReduceAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("serve/sb", n)
+			rb := r.PersistentBuffer("serve/rb", n)
+			for i := 0; i < calls; i++ {
+				r.Warm(sb, 0, n)
+				f(r, r.World(), sb, rb, n, mpi.Sum, 0, o)
+			}
+		}, nil
+	case "bcast":
+		f, err := coll.Lookup(coll.BcastAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			buf := r.PersistentBuffer("serve/buf", n)
+			for i := 0; i < calls; i++ {
+				if r.ID() == 0 {
+					r.Warm(buf, 0, n)
+				}
+				f(r, r.World(), buf, n, 0, o)
+			}
+		}, nil
+	case "allgather":
+		f, err := coll.Lookup(coll.AllgatherAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("serve/sb", n)
+			rb := r.PersistentBuffer("serve/rb", n*pp)
+			for i := 0; i < calls; i++ {
+				r.Warm(sb, 0, n)
+				f(r, r.World(), sb, rb, n, o)
+			}
+		}, nil
+	case "alltoall":
+		f, err := coll.Lookup(coll.AlltoallAlgos, alg)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *mpi.Rank) {
+			sb := r.PersistentBuffer("serve/sb", n*pp)
+			rb := r.PersistentBuffer("serve/rb", n*pp)
+			for i := 0; i < calls; i++ {
+				r.Warm(sb, 0, n*pp)
+				f(r, r.World(), sb, rb, n, o)
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("serve: unsupported collective %q", spec.Collective)
+}
+
+// faultService measures a fault-seeded tenant: one validated collective
+// call runs under the resilient supervisor (real data, the seed's
+// GenPlan), and the remaining Calls-1 are charged at the healthy
+// per-call time — the fault fires once, recovery happens once. Failed
+// attempts (which burned simulated time before being diagnosed) are
+// charged one healthy call each. Returns the total service time and the
+// supervisor's outcome.
+func (ms *measurer) faultService(spec JobSpec, perSocket, ext []int) (float64, resilient.Outcome) {
+	healthySpec := spec
+	healthySpec.FaultSeed = 0
+	healthy := ms.service(healthySpec, perSocket, ext)
+	perCall := healthy / float64(spec.Calls)
+
+	cores := canonicalCores(ms.node, perSocket)
+	m := mpi.NewMachineWithContention(ms.node, cores, ext, true)
+	plan := fault.GenPlan(spec.FaultSeed, len(cores), perCall)
+	if err := m.SetFaultPlan(plan); err != nil {
+		panic(fmt.Sprintf("serve: bad generated plan: %v", err))
+	}
+	alg := spec.Alg
+	if alg == "" {
+		alg = "yhccl"
+	}
+	job := resilient.Job{
+		Name:     spec.Name,
+		MaxDepth: coll.MaxFallbackDepth(spec.Collective, alg),
+		Bind: func(m *mpi.Machine, depth, salt int) (func(*mpi.Rank), func() error, error) {
+			b, err := faultBody(spec, m, depth, salt)
+			if err != nil {
+				return nil, nil, err
+			}
+			return b.run, func() error { return b.verr }, nil
+		},
+	}
+	pol := resilient.DefaultPolicy()
+	pol.AllowRemap = false // leased cores come with no spares to quarantine onto
+	rep := resilient.Supervise(m, job, pol)
+
+	total := 0.0
+	for _, a := range rep.Attempts {
+		if a.Makespan > 0 {
+			total += a.Makespan
+		} else {
+			total += perCall
+		}
+	}
+	total += float64(spec.Calls-1) * perCall
+	return total, rep.Outcome
+}
+
+// outcome returns the supervisor outcome of a fault-seeded job under the
+// given contention (memoized with the service time); healthy jobs are
+// CleanPass.
+func (ms *measurer) outcome(spec JobSpec, perSocket, ext []int) resilient.Outcome {
+	if spec.FaultSeed == 0 || ms.oracle != nil {
+		return resilient.CleanPass
+	}
+	return ms.measure(spec, perSocket, ext).out
+}
+
+// faultBody is the chaos-style validated single-call body: fill-pattern
+// bases salted per attempt, resilient dispatch at the given depth, exact
+// self-validation capturing the first divergence.
+type bodyState struct {
+	run  func(*mpi.Rank)
+	verr error
+}
+
+func faultBody(spec JobSpec, m *mpi.Machine, depth, salt int) (*bodyState, error) {
+	p := m.Size()
+	bases := coll.SumBasesSalted(p, salt)
+	b := &bodyState{}
+	check := func(err error) {
+		if err != nil && b.verr == nil {
+			b.verr = err
+		}
+	}
+	n := spec.MsgBytes / memmodel.ElemSize
+	if n < 1 {
+		n = 1
+	}
+	alg := spec.Alg
+	if alg == "" {
+		alg = "yhccl"
+	}
+	o := coll.Options{FallbackDepth: depth}
+	switch spec.Collective {
+	case "allreduce":
+		name, f, err := coll.ResilientAR(alg, o)
+		if err != nil {
+			return nil, err
+		}
+		opName := spec.Collective + "/" + name
+		b.run = func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			r.FillPattern(sb, bases[r.ID()])
+			f(r, r.World(), sb, rb, n, mpi.Sum, o)
+			check(coll.ValidateAllreduceSum(opName, r.ID(), rb, n, bases))
+		}
+	case "reduce-scatter":
+		name, f, err := coll.ResilientRS(alg, o)
+		if err != nil {
+			return nil, err
+		}
+		opName := spec.Collective + "/" + name
+		b.run = func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", int64(p)*n)
+			rb := r.NewBuffer("rb", n)
+			r.FillPattern(sb, bases[r.ID()])
+			f(r, r.World(), sb, rb, n, mpi.Sum, o)
+			check(coll.ValidateReduceScatterSum(opName, r.ID(), rb, n, bases))
+		}
+	case "reduce":
+		name, f, err := coll.ResilientReduce(alg, o)
+		if err != nil {
+			return nil, err
+		}
+		opName := spec.Collective + "/" + name
+		b.run = func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", n)
+			r.FillPattern(sb, bases[r.ID()])
+			f(r, r.World(), sb, rb, n, mpi.Sum, 0, o)
+			check(coll.ValidateReduceSum(opName, r.ID(), 0, rb, n, bases))
+		}
+	case "bcast":
+		name, f, err := coll.ResilientBcast(alg, o)
+		if err != nil {
+			return nil, err
+		}
+		opName := spec.Collective + "/" + name
+		rootBase := 777 + float64(salt*17)
+		b.run = func(r *mpi.Rank) {
+			buf := r.NewBuffer("buf", n)
+			if r.ID() == 0 {
+				r.FillPattern(buf, rootBase)
+			}
+			f(r, r.World(), buf, n, 0, o)
+			check(coll.ValidateBcast(opName, r.ID(), buf, n, rootBase))
+		}
+	case "allgather":
+		name, f, err := coll.ResilientAG(alg, o)
+		if err != nil {
+			return nil, err
+		}
+		opName := spec.Collective + "/" + name
+		b.run = func(r *mpi.Rank) {
+			sb := r.NewBuffer("sb", n)
+			rb := r.NewBuffer("rb", int64(p)*n)
+			r.FillPattern(sb, bases[r.ID()])
+			f(r, r.World(), sb, rb, n, o)
+			check(coll.ValidateAllgather(opName, r.ID(), rb, n, bases))
+		}
+	default:
+		return nil, fmt.Errorf("serve: fault-seeded job on unsupported collective %q", spec.Collective)
+	}
+	return b, nil
+}

@@ -123,7 +123,7 @@ func measureTuned(node *topo.Node, p int, c plan.Coll, planner *coll.Planner, sB
 			coll.TunedBcast(planner, r, cm, buf, n, root, o)
 		}, sBytes, o)
 	case plan.Allgather:
-		return bench.MeasureAllgather(node, p, func(r *mpi.Rank, cm *mpi.Comm, sb, rb *memmodel.Buffer, n int64, op mpi.Op, o coll.Options) {
+		return bench.MeasureAllgather(node, p, func(r *mpi.Rank, cm *mpi.Comm, sb, rb *memmodel.Buffer, n int64, o coll.Options) {
 			coll.TunedAllgather(planner, r, cm, sb, rb, n, o)
 		}, sBytes, o)
 	}

@@ -104,28 +104,38 @@ func warnPlanOnce(dir, topology string, ranks int, err error) {
 
 // TunedAllreduce dispatches through the machine's attached plan table,
 // falling back to the hand-tuned switch when no plan covers the call.
+//
+// Deprecated: use Exec with Req{Collective: "allreduce", Tuned: true}.
 func TunedAllreduce(r *Rank, sb, rb *Buffer, n int64, op Op, o Options) {
-	coll.TunedAllreduce(plannerOf(r), r, r.World(), sb, rb, n, op, o)
+	MustExec(r, Req{Collective: "allreduce", Tuned: true, Send: sb, Recv: rb, Count: n, Op: op, Options: o})
 }
 
 // TunedReduceScatter dispatches a reduce-scatter through the plan table.
+//
+// Deprecated: use Exec with Req{Collective: "reduce-scatter", Tuned: true}.
 func TunedReduceScatter(r *Rank, sb, rb *Buffer, n int64, op Op, o Options) {
-	coll.TunedReduceScatter(plannerOf(r), r, r.World(), sb, rb, n, op, o)
+	MustExec(r, Req{Collective: "reduce-scatter", Tuned: true, Send: sb, Recv: rb, Count: n, Op: op, Options: o})
 }
 
 // TunedReduce dispatches a rooted reduce through the plan table.
+//
+// Deprecated: use Exec with Req{Collective: "reduce", Tuned: true}.
 func TunedReduce(r *Rank, sb, rb *Buffer, n int64, op Op, root int, o Options) {
-	coll.TunedReduce(plannerOf(r), r, r.World(), sb, rb, n, op, root, o)
+	MustExec(r, Req{Collective: "reduce", Tuned: true, Send: sb, Recv: rb, Count: n, Op: op, Root: root, Options: o})
 }
 
 // TunedBcast dispatches a broadcast through the plan table.
+//
+// Deprecated: use Exec with Req{Collective: "bcast", Tuned: true}.
 func TunedBcast(r *Rank, buf *Buffer, n int64, root int, o Options) {
-	coll.TunedBcast(plannerOf(r), r, r.World(), buf, n, root, o)
+	MustExec(r, Req{Collective: "bcast", Tuned: true, Send: buf, Count: n, Root: root, Options: o})
 }
 
 // TunedAllgather dispatches an all-gather through the plan table.
+//
+// Deprecated: use Exec with Req{Collective: "allgather", Tuned: true}.
 func TunedAllgather(r *Rank, sb, rb *Buffer, n int64, o Options) {
-	coll.TunedAllgather(plannerOf(r), r, r.World(), sb, rb, n, o)
+	MustExec(r, Req{Collective: "allgather", Tuned: true, Send: sb, Recv: rb, Count: n, Options: o})
 }
 
 func plannerOf(r *Rank) *coll.Planner { return coll.PlannerOf(r.Machine()) }

@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: build test test-race race race-fast vet chaos chaos-recover scale engine-compare ci bench bench-baseline bench-compare tune tune-full plan-verify serve
+.PHONY: build test test-race race race-fast vet chaos chaos-recover chaos-cluster scale engine-compare ci bench bench-baseline bench-compare tune tune-full plan-verify serve serve-overload
 
 # Single CI entrypoint: vet, the full test suite (incl. the fast race pass),
-# both fault-injection gates, the cluster-scale smoke gate, the tuned-plan
-# pipeline (quick-budget synthesis + the beats-or-matches gate), then the
-# multi-tenant serving gate.
-ci: test chaos chaos-recover scale tune plan-verify serve
+# the fault-injection gates (rank-level, recovery, and cluster-scale), the
+# cluster-scale smoke gate, the tuned-plan pipeline (quick-budget synthesis
+# + the beats-or-matches gate), then the multi-tenant serving gates
+# (steady-state sweep and the bounded-queue overload point).
+ci: test chaos chaos-recover chaos-cluster scale tune plan-verify serve serve-overload
 
 build:
 	$(GO) build ./...
@@ -44,6 +45,13 @@ chaos:
 # algorithm fallback).
 chaos-recover:
 	$(GO) run ./cmd/yhcclbench -chaos-recover
+
+# Cluster-scale fault sweep: node crashes, degraded links, stragglers and
+# inter-phase corruption on 4k-16k rank clusters, each run under the
+# cluster supervisor with flat-memory budgets. Exits nonzero on any
+# UNDIAGNOSED outcome, unrecovered crash/degrade, or budget violation.
+chaos-cluster:
+	$(GO) run ./cmd/yhcclbench -chaos-cluster
 
 # Cluster-scale smoke gate: 65536- and 262144-rank event-engine sweeps must
 # finish within wall-clock and per-rank allocation budgets with zero
@@ -93,6 +101,12 @@ tune-full:
 # tenant ends UNDIAGNOSED or the aggregate p99 makespan blows its budget.
 serve:
 	$(GO) run ./cmd/yhcclbench -serve-gate
+
+# Serving overload gate: the deadline-annotated mix at 1.5x the saturating
+# rate under a bounded admission queue. Exits nonzero unless the queue
+# demonstrably sheds and every admitted job meets its deadline.
+serve-overload:
+	$(GO) run ./cmd/yhcclbench -serve-overload
 
 # Beats-or-matches gate over the committed caches: the tuned dispatch must
 # match or beat every figure baseline at every quick sweep point, with at

@@ -354,6 +354,36 @@ func programEngine(kind sim.EngineKind) func(b *testing.B) {
 	}
 }
 
+// clusterFaultOverhead measures the healthy armed path: the crossover
+// program run through the cluster fault layer with no plan armed. The
+// figure of merit is the delta against program_event — arming must cost
+// ~nothing when nothing is injected, or every healthy sweep pays for it.
+func clusterFaultOverhead(b *testing.B) {
+	prog := clusterCrossoverProgram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.RunArmed(prog, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// clusterRecompile measures the crash-recovery compile: a fresh
+// hierarchical-allreduce schedule over the 63 survivors of a 64-node
+// cluster — the setup cost every recovered-by-recompile attempt pays
+// before it can re-run.
+func clusterRecompile(b *testing.B) {
+	node := topo.NodeA()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := cluster.New(node, 63, 64, cluster.IB100())
+		if _, err := c.CompileAllreduce(cluster.YHCCLHierarchical, 1<<16, cluster.ScheduleOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // engineCompare runs both engines over the shared parity matrix and fails
 // on any makespan divergence — the gate, invocable from CI.
 func engineCompare(verbose bool) (int, error) {
@@ -456,6 +486,8 @@ func realMain() int {
 	run("plan_synthesize", planSynthesize(&rep.PlanCacheEntries), rep.Benchmarks)
 	run("serve_admission", serveAdmission, rep.Benchmarks)
 	run("serve_mixed_load", serveMixedLoad, rep.Benchmarks)
+	run("cluster_fault_overhead", clusterFaultOverhead, rep.Benchmarks)
+	run("cluster_recompile", clusterRecompile, rep.Benchmarks)
 
 	fmt.Fprintf(os.Stderr, "running engine parity matrix...\n")
 	nParity, err := engineCompare(false)

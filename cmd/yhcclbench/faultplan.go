@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"yhccl/internal/chaos"
+	"yhccl/internal/cluster"
+	"yhccl/internal/fault"
+	"yhccl/internal/resilient"
+)
+
+// Fault-plan files: -fault-save generates a seeded plan (rank-level with
+// -fault-ranks, cluster-level with -fault-shape NxP) and writes it as a
+// versioned, checksummed JSON file; -fault-plan loads such a file and
+// replays it under the matching resilient supervisor, so a failure seen
+// in a sweep is reproducible from one small artifact.
+
+// genHorizonTicks matches the virtual-time scale DefaultClusterCases
+// generates seeded plans over, so saved cluster plans land mid-run.
+const genHorizonTicks = 1_000_000
+
+// parseShape converts a "NxP" -fault-shape value.
+func parseShape(s string) (fault.ClusterShape, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 2 {
+		return fault.ClusterShape{}, fmt.Errorf("bad shape %q (want NxP, e.g. 64x64)", s)
+	}
+	nodes, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	per, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil || nodes < 2 || per < 1 {
+		return fault.ClusterShape{}, fmt.Errorf("bad shape %q (want NxP with N>=2, P>=1)", s)
+	}
+	return fault.ClusterShape{Nodes: nodes, PerNode: per}, nil
+}
+
+// runFaultSave generates a plan from the seed and writes it to path.
+// shapeCSV selects a cluster plan; otherwise ranks selects a rank plan.
+func runFaultSave(w io.Writer, path, shapeCSV string, ranks int, seed uint64) error {
+	if shapeCSV != "" {
+		shape, err := parseShape(shapeCSV)
+		if err != nil {
+			return err
+		}
+		pl := fault.GenClusterPlan(seed, shape, genHorizonTicks)
+		if err := fault.SaveClusterPlan(path, pl); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote cluster plan %s (seed %d, shape %s):\n%s\n", path, seed, shape, pl)
+		return nil
+	}
+	if ranks < 2 {
+		return fmt.Errorf("-fault-save needs -fault-shape NxP or -fault-ranks >= 2")
+	}
+	pl := fault.GenPlan(seed, ranks, 2e-4)
+	if err := fault.SavePlan(path, pl, ranks); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote rank plan %s (seed %d, %d ranks):\n%s\n", path, seed, ranks, pl)
+	return nil
+}
+
+// runFaultReplay loads a plan file and replays it under the matching
+// supervisor: a rank plan through the recovery sweep's reference
+// allreduce, a cluster plan through the cluster supervisor at the plan's
+// shape. Returns an error when the replay violates the recovery gate.
+func runFaultReplay(w io.Writer, path string) error {
+	pf, err := fault.LoadPlanFile(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case pf.Rank != nil:
+		fmt.Fprintf(w, "replaying rank plan %s on %d ranks:\n%s\n\n", path, pf.Ranks, pf.Rank)
+		res := chaos.RunRecover(chaos.Case{
+			Collective: "allreduce", Algo: "yhccl",
+			Ranks: pf.Ranks, Elems: 4096, Plan: pf.Rank,
+		})
+		if bad := chaos.ReportRecovery(w, []chaos.RecoveryResult{res}); bad > 0 {
+			return fmt.Errorf("replay: %d recovery-gate violations", bad)
+		}
+	case pf.Cluster != nil:
+		sh := pf.Cluster.Shape
+		fmt.Fprintf(w, "replaying cluster plan %s at %s:\n%s\n\n", path, sh, pf.Cluster)
+		res := chaos.RunCluster(chaos.ClusterCase{
+			Name: pf.Cluster.Name, Nodes: sh.Nodes, PerNode: sh.PerNode,
+			Job: resilient.ClusterJob{
+				Coll: cluster.CollAllreduce, Alg: cluster.YHCCLHierarchical, Elems: 1 << 16,
+			},
+			Plan: pf.Cluster,
+		})
+		if bad := chaos.ReportCluster(w, []chaos.ClusterResult{res}); bad > 0 {
+			return fmt.Errorf("replay: %d cluster-gate violations", bad)
+		}
+	}
+	return nil
+}

@@ -21,6 +21,11 @@
 //	yhcclbench -serve                # multi-tenant serving sweep: throughput vs offered load
 //	yhcclbench -serve -place spread -rates 10,40 -jobs 60 -v
 //	yhcclbench -serve-gate           # serving sweep with a fault tenant (exit 1 on gate violation)
+//	yhcclbench -serve-overload       # overload point at 1.5x saturation: bounded queue, deadlines (exit 1 on violation)
+//	yhcclbench -chaos-cluster        # cluster-scale fault sweep at 4k-16k ranks (exit 1 on gate violation)
+//	yhcclbench -fault-save p.json -fault-shape 64x64 -seed 7
+//	                                 # write a seeded cluster fault plan as versioned JSON
+//	yhcclbench -fault-plan p.json    # replay a saved fault plan under the matching supervisor
 package main
 
 import (
@@ -61,8 +66,43 @@ func main() {
 		jobsF    = flag.Int("jobs", 40, "arrival-stream length for -serve")
 		faultsF  = flag.Bool("faults", false, "add a fault-seeded chaos tenant to the -serve mix")
 		verboseF = flag.Bool("v", false, "print per-point admission event logs (-serve)")
+		overF    = flag.Bool("serve-overload", false, "run the serving overload gate at 1.5x saturation: bounded queue sheds, zero deadline violations among admitted jobs (exit 1 on violation)")
+		cChaosF  = flag.Bool("chaos-cluster", false, "run the cluster-scale fault sweep at 4k-16k ranks and exit (nonzero on any cluster-gate violation); -quick restricts to 4096 ranks")
+		fSaveF   = flag.String("fault-save", "", "write a seeded fault plan to this JSON file (-fault-shape for a cluster plan, -fault-ranks for a rank plan)")
+		fPlanF   = flag.String("fault-plan", "", "replay a saved fault-plan JSON file under the matching resilient supervisor")
+		fShapeF  = flag.String("fault-shape", "", "cluster shape NxP for -fault-save (e.g. 64x64)")
+		fRanksF  = flag.Int("fault-ranks", 8, "rank count for -fault-save rank plans")
 	)
 	flag.Parse()
+
+	if *fSaveF != "" {
+		if err := runFaultSave(os.Stdout, *fSaveF, *fShapeF, *fRanksF, *seedF); err != nil {
+			fatalf("fault-save: %v", err)
+		}
+		return
+	}
+	if *fPlanF != "" {
+		if err := runFaultReplay(os.Stdout, *fPlanF); err != nil {
+			fatalf("fault-plan: %v", err)
+		}
+		return
+	}
+	if *cChaosF {
+		if bad := chaos.ReportCluster(os.Stdout, chaos.SweepCluster(chaos.DefaultClusterCases(*quick))); bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *overF {
+		jobs := *jobsF
+		if jobs == 40 { // the -jobs default sizes the plain sweep; overload needs a longer stream
+			jobs = serveOverloadJobs
+		}
+		if err := runServeOverload(os.Stdout, *nodeF, *seedF, jobs); err != nil {
+			fatalf("serve-overload: %v", err)
+		}
+		return
+	}
 
 	if *serveF || *sGateF {
 		faults := *faultsF || *sGateF

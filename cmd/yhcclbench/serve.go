@@ -22,6 +22,20 @@ var defaultServeRates = []float64{100, 400, 1600}
 // headroom for model retuning without masking schedule regressions.
 const serveGateP99Budget = 2.0
 
+// serveOverloadJobs is the overload gate's stream length: long enough
+// that the bounded queue demonstrably sheds at the overload rate.
+const serveOverloadJobs = 400
+
+// runServeOverload runs the overload gate: the deadline-annotated mix at
+// 1.5x the saturating rate under a bounded admission queue.
+func runServeOverload(w io.Writer, nodeName string, seed uint64, jobs int) error {
+	node, err := nodeByName(nodeName)
+	if err != nil {
+		return err
+	}
+	return serve.OverloadGate(w, node, seed, jobs, serveGateP99Budget)
+}
+
 // parseRates converts a comma-separated -rates flag value.
 func parseRates(s string) ([]float64, error) {
 	if s == "" {

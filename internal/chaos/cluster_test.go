@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"yhccl/internal/resilient"
+)
+
+// The quick sweep (4096 ranks) must pass the gate: zero UNDIAGNOSED,
+// zero unrecoverable node-crash/link-degrade, budgets held under faults.
+func TestClusterSweepQuickGate(t *testing.T) {
+	results := SweepCluster(DefaultClusterCases(true))
+	var buf bytes.Buffer
+	if n := ReportCluster(&buf, results); n != 0 {
+		t.Fatalf("cluster gate violations:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "cluster recovery gate: PASS") {
+		t.Fatalf("report missing pass verdict:\n%s", buf.String())
+	}
+}
+
+// The hand-written cases must land in their designed outcome classes.
+func TestClusterSweepExpectedOutcomes(t *testing.T) {
+	results := SweepCluster(DefaultClusterCases(true))
+	want := map[string]resilient.Outcome{
+		"healthy":           resilient.CleanPass,
+		"crash-early":       resilient.RecoveredRecompile,
+		"degrade-latency":   resilient.RecoveredReroute,
+		"degrade-bandwidth": resilient.DegradedPass,
+		"corrupt-inter":     resilient.RecoveredClusterRetry,
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if w, ok := want[r.Case.Name]; ok {
+			seen[r.Case.Name] = true
+			if r.Report.Outcome != w {
+				t.Errorf("%s: outcome %s, want %s (err: %v)",
+					r.Case, r.Report.Outcome, w, r.Report.Err)
+			}
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("case %q missing from the default sweep", name)
+		}
+	}
+}
+
+// A mid-run crash must actually fire (not land past the makespan) and be
+// recovered by recompile.
+func TestClusterSweepMidCrashFires(t *testing.T) {
+	for _, r := range SweepCluster(DefaultClusterCases(true)) {
+		if r.Case.Name != "crash-mid" {
+			continue
+		}
+		if r.Report.Outcome != resilient.RecoveredRecompile {
+			t.Fatalf("crash-mid: outcome %s, want recovered-by-recompile (err: %v)",
+				r.Report.Outcome, r.Report.Err)
+		}
+		if len(r.Report.ExcludedNodes) != 1 {
+			t.Fatalf("crash-mid: excluded %v, want exactly one node", r.Report.ExcludedNodes)
+		}
+		return
+	}
+	t.Fatal("crash-mid case missing from the default sweep")
+}
+
+// Two cold sweeps render byte-identical reports: the cluster chaos layer
+// adds no nondeterminism on top of the armed engine.
+func TestClusterSweepDeterministic(t *testing.T) {
+	cases := DefaultClusterCases(true)
+	render := func() string {
+		var buf bytes.Buffer
+		results := SweepCluster(cases)
+		for _, r := range results {
+			// Memory measurements vary run to run; render everything else.
+			buf.WriteString(r.Case.String())
+			buf.WriteString(" -> ")
+			buf.WriteString(r.Report.String())
+			buf.WriteByte('\n')
+		}
+		buf.WriteString(ClusterTable(results))
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("cluster sweep diverged across cold runs:\n%s\n---\n%s", a, b)
+	}
+}

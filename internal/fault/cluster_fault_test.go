@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenClusterPlanDeterministicAndValid(t *testing.T) {
+	shape := ClusterShape{Nodes: 64, PerNode: 64}
+	for seed := uint64(0); seed < 64; seed++ {
+		a := GenClusterPlan(seed, shape, 1_000_000)
+		b := GenClusterPlan(seed, shape, 1_000_000)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: plans diverge:\n%s\n%s", seed, a, b)
+		}
+		if err := a.Validate(shape); err != nil {
+			t.Fatalf("seed %d: generated plan invalid: %v", seed, err)
+		}
+		if a.Empty() {
+			t.Fatalf("seed %d: generated plan is empty", seed)
+		}
+	}
+}
+
+func TestGenClusterPlanCoversAllClasses(t *testing.T) {
+	shape := ClusterShape{Nodes: 64, PerNode: 64}
+	classes := map[string]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		classes[GenClusterPlan(seed, shape, 1_000_000).Class()] = true
+	}
+	for _, want := range []string{"node-crash", "link-degrade", "node-straggler", "phase-corrupt"} {
+		if !classes[want] {
+			t.Fatalf("64 seeds never produced class %q (got %v)", want, classes)
+		}
+	}
+}
+
+func TestClusterPlanValidate(t *testing.T) {
+	shape := ClusterShape{Nodes: 4, PerNode: 8}
+	bad := []*ClusterPlan{
+		{Crashes: []NodeCrash{{Node: 4, AtTick: 0}}},
+		{Crashes: []NodeCrash{{Node: 0, AtTick: -1}}},
+		{LinkDegrades: []LinkDegrade{{Node: 0, Factor: 0.5}}},
+		{Stragglers: []NodeStraggler{{Node: -1, Factor: 2}}},
+		{Corruptions: []PhaseCorrupt{{Node: 0, Phase: 3}}},
+		{Shape: ClusterShape{Nodes: 8, PerNode: 8}, Crashes: []NodeCrash{{Node: 0}}},
+	}
+	for i, pl := range bad {
+		if err := pl.Validate(shape); err == nil {
+			t.Fatalf("bad plan %d accepted: %s", i, pl)
+		}
+	}
+	if err := (*ClusterPlan)(nil).Validate(shape); err != nil {
+		t.Fatalf("nil plan rejected: %v", err)
+	}
+}
+
+func TestClusterPlanRestrictNodes(t *testing.T) {
+	pl := &ClusterPlan{
+		Name:         "r",
+		Shape:        ClusterShape{Nodes: 4, PerNode: 8},
+		Crashes:      []NodeCrash{{Node: 1, AtTick: 5}},
+		LinkDegrades: []LinkDegrade{{Node: 3, Factor: 2}},
+		Stragglers:   []NodeStraggler{{Node: 0, Factor: 3}},
+		Corruptions:  []PhaseCorrupt{{Node: 2, Phase: 1}},
+	}
+	// Node 1 dies: survivors keep firing under renumbered ids.
+	out := pl.RestrictNodes([]int{0, 2, 3})
+	if len(out.Crashes) != 0 {
+		t.Fatalf("dead node's crash survived: %v", out.Crashes)
+	}
+	if len(out.LinkDegrades) != 1 || out.LinkDegrades[0].Node != 2 {
+		t.Fatalf("degrade not renumbered 3->2: %v", out.LinkDegrades)
+	}
+	if len(out.Stragglers) != 1 || out.Stragglers[0].Node != 0 {
+		t.Fatalf("straggler not kept at 0: %v", out.Stragglers)
+	}
+	if len(out.Corruptions) != 1 || out.Corruptions[0].Node != 1 {
+		t.Fatalf("corruption not renumbered 2->1: %v", out.Corruptions)
+	}
+	if out.Shape != (ClusterShape{Nodes: 3, PerNode: 8}) {
+		t.Fatalf("shape not shrunk: %v", out.Shape)
+	}
+	if err := out.Validate(out.Shape); err != nil {
+		t.Fatalf("restricted plan invalid: %v", err)
+	}
+}
+
+func TestClusterPlanWithoutFiredCorruptions(t *testing.T) {
+	pl := &ClusterPlan{Corruptions: []PhaseCorrupt{{Node: 1, Phase: 0}, {Node: 2, Phase: 1}}}
+	out := pl.WithoutFiredCorruptions([]ClusterEvent{
+		{Kind: "phase-corrupt", Node: 2, Phase: 1, Tick: 99},
+	})
+	if len(out.Corruptions) != 1 || out.Corruptions[0].Node != 1 {
+		t.Fatalf("fired corruption not consumed: %v", out.Corruptions)
+	}
+}
+
+func TestPlanFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	rank := GenPlan(7, 8, 2e-4)
+	rankPath := filepath.Join(dir, "rank.json")
+	if err := SavePlan(rankPath, rank, 8); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := LoadPlanFile(rankPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Cluster != nil || rf.Rank == nil || rf.Ranks != 8 {
+		t.Fatalf("rank file decoded wrong: %+v", rf)
+	}
+	if rf.Rank.String() != rank.String() {
+		t.Fatalf("rank plan changed across round trip:\n%s\n%s", rf.Rank, rank)
+	}
+
+	cl := GenClusterPlan(7, ClusterShape{Nodes: 64, PerNode: 64}, 1_000_000)
+	clPath := filepath.Join(dir, "cluster.json")
+	if err := SaveClusterPlan(clPath, cl); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := LoadPlanFile(clPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Rank != nil || cf.Cluster == nil {
+		t.Fatalf("cluster file decoded wrong: %+v", cf)
+	}
+	if cf.Cluster.String() != cl.String() {
+		t.Fatalf("cluster plan changed across round trip:\n%s\n%s", cf.Cluster, cl)
+	}
+}
+
+func TestPlanFileRejectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := SavePlan(path, GenPlan(3, 8, 2e-4), 8); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of the body: the checksum must catch it.
+	tampered := []byte(string(body))
+	for i := range tampered {
+		if tampered[i] == '8' {
+			tampered[i] = '9'
+			break
+		}
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlanFile(path); !errors.Is(err, ErrPlanChecksum) {
+		t.Fatalf("tampered file loaded: %v", err)
+	}
+
+	// Wrong version is a typed error too.
+	if err := SavePlan(path, GenPlan(3, 8, 2e-4), 8); err != nil {
+		t.Fatal(err)
+	}
+	body, _ = os.ReadFile(path)
+	body = []byte(strings.Replace(string(body), `"format_version": 1`, `"format_version": 99`, 1))
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlanFile(path); !errors.Is(err, ErrPlanVersion) {
+		t.Fatalf("wrong-version file loaded: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+// Saved fault plans. Chaos failures used to be reproducible only by
+// re-deriving the generating seed; a PlanFile pins the exact plan (rank- or
+// cluster-level) plus the world it targets to disk so `yhcclbench
+// -fault-plan <file>` can replay it verbatim. Files follow the same
+// discipline as the tuned-plan caches under plans/: a format version gates
+// loading and an FNV-64a checksum of the canonical body rejects corrupted
+// or hand-edited files with a typed error instead of a confusing run.
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// PlanFormatVersion is the saved-plan file layout version. Bump on any
+// incompatible change to PlanFile or the plan structs it embeds.
+const PlanFormatVersion = 1
+
+var (
+	// ErrPlanVersion marks a saved-plan format version mismatch.
+	ErrPlanVersion = errors.New("fault: plan file version mismatch")
+	// ErrPlanChecksum marks a corrupted or hand-edited saved plan.
+	ErrPlanChecksum = errors.New("fault: plan file checksum mismatch")
+)
+
+// PlanFile is the on-disk form of one saved fault plan. Exactly one of Rank
+// and Cluster is set; Ranks (rank plans) or the cluster plan's Shape records
+// the world the plan was generated for, so a replay can rebuild it.
+type PlanFile struct {
+	FormatVersion int `json:"format_version"`
+
+	// Rank-level plan and the world size it targets.
+	Ranks int   `json:"ranks,omitempty"`
+	Rank  *Plan `json:"rank,omitempty"`
+
+	// Cluster-level plan (carries its own ClusterShape).
+	Cluster *ClusterPlan `json:"cluster,omitempty"`
+
+	// Checksum is the FNV-64a of the canonical body (computed with this
+	// field empty), hex-encoded.
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// checksum hashes the canonical JSON body with the Checksum field empty.
+func (f *PlanFile) checksum() (string, error) {
+	cp := *f
+	cp.Checksum = ""
+	body, err := json.Marshal(&cp)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// validate checks whichever plan the file carries against its recorded world.
+func (f *PlanFile) validate() error {
+	switch {
+	case f.Rank != nil && f.Cluster != nil:
+		return fmt.Errorf("fault: plan file sets both rank and cluster plans")
+	case f.Rank != nil:
+		if f.Ranks <= 0 {
+			return fmt.Errorf("fault: rank plan file records world of %d ranks", f.Ranks)
+		}
+		return f.Rank.Validate(f.Ranks)
+	case f.Cluster != nil:
+		if f.Cluster.Shape.Nodes <= 0 || f.Cluster.Shape.PerNode <= 0 {
+			return fmt.Errorf("fault: cluster plan file records invalid shape %s", f.Cluster.Shape)
+		}
+		return f.Cluster.Validate(f.Cluster.Shape)
+	}
+	return fmt.Errorf("fault: plan file carries no plan")
+}
+
+// SavePlan writes a rank-level plan for a world of the given size.
+func SavePlan(path string, pl *Plan, ranks int) error {
+	return savePlanFile(path, &PlanFile{Ranks: ranks, Rank: pl})
+}
+
+// SaveClusterPlan writes a cluster-level plan (the plan's Shape is the
+// recorded world).
+func SaveClusterPlan(path string, pl *ClusterPlan) error {
+	return savePlanFile(path, &PlanFile{Cluster: pl})
+}
+
+func savePlanFile(path string, f *PlanFile) error {
+	f.FormatVersion = PlanFormatVersion
+	if err := f.validate(); err != nil {
+		return err
+	}
+	sum, err := f.checksum()
+	if err != nil {
+		return err
+	}
+	f.Checksum = sum
+	body, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
+}
+
+// LoadPlanFile reads and verifies a saved plan: format version, checksum,
+// and plan validity against the recorded world all gate loading.
+func LoadPlanFile(path string) (*PlanFile, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f PlanFile
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrPlanChecksum, path, err)
+	}
+	if f.FormatVersion != PlanFormatVersion {
+		return nil, fmt.Errorf("%w: %s has format %d, want %d",
+			ErrPlanVersion, path, f.FormatVersion, PlanFormatVersion)
+	}
+	want, err := f.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if f.Checksum != want {
+		return nil, fmt.Errorf("%w: %s records %s, body hashes to %s",
+			ErrPlanChecksum, path, f.Checksum, want)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

@@ -1,0 +1,300 @@
+// Cluster-scale recovery. Supervise (resilient.go) recovers individual
+// ranks inside one machine; SuperviseCluster recovers whole nodes of a
+// compiled-schedule run on the event engine. The unit of repair is the
+// schedule itself: a dead node is survived by recompiling the program over
+// the remaining nodes (node-level survivor renumbering — ring lanes and
+// leader trees are rebuilt from the Compile* templates, exactly like a
+// ULFM shrink one level up), a degraded lane is survived by rerouting the
+// inter phase onto a binomial tree that crosses the slow lane O(log N)
+// times instead of O(N), and a transient phase corruption is survived by a
+// bounded retry with the fired corruption consumed.
+package resilient
+
+import (
+	"errors"
+	"fmt"
+
+	"yhccl/internal/cluster"
+	"yhccl/internal/fault"
+	"yhccl/internal/sim"
+)
+
+const (
+	// RecoveredRecompile: the schedule was recompiled over the surviving
+	// nodes after a node crash and the re-run completed.
+	RecoveredRecompile Outcome = "recovered-by-recompile"
+	// RecoveredReroute: the inter phase was switched to a tree avoiding the
+	// degraded lane, beating the degraded makespan.
+	RecoveredReroute Outcome = "recovered-by-reroute"
+	// RecoveredClusterRetry: a bounded re-run consumed a transient phase
+	// corruption and completed clean.
+	RecoveredClusterRetry Outcome = "recovered-by-retry"
+	// DegradedPass: the run completed correct-but-slow under a degraded
+	// lane or straggler node and no reroute could improve it; the
+	// degradation is fully diagnosed in the report.
+	DegradedPass Outcome = "degraded-pass"
+)
+
+// ClusterJob names one compiled collective to supervise.
+type ClusterJob struct {
+	Coll  string // cluster.CollAllreduce, CollBcast, CollAllgather
+	Alg   cluster.Algorithm
+	Elems int64
+	Opts  cluster.ScheduleOptions
+}
+
+func (j ClusterJob) String() string {
+	return fmt.Sprintf("%s/%s n=%d", j.Coll, j.Alg, j.Elems)
+}
+
+// ClusterPolicy bounds the cluster supervisor's recovery chain.
+type ClusterPolicy struct {
+	// MaxAttempts caps total armed runs (initial attempt included).
+	MaxAttempts int
+	// MaxRetries caps corruption-consuming re-runs.
+	MaxRetries int
+	// AllowRecompile enables recompiling the schedule around dead nodes.
+	AllowRecompile bool
+	// AllowReroute enables switching the inter phase to a lane-avoiding
+	// tree when a degraded lane or straggler node fired.
+	AllowReroute bool
+	// MinNodes refuses recompiles that would leave fewer nodes than this.
+	MinNodes int
+	// Horizon arms the no-progress watchdog on every attempt (0 = off).
+	Horizon sim.Tick
+}
+
+// DefaultClusterPolicy returns the policy the cluster chaos sweep uses.
+func DefaultClusterPolicy() ClusterPolicy {
+	return ClusterPolicy{
+		MaxAttempts:    6,
+		MaxRetries:     2,
+		AllowRecompile: true,
+		AllowReroute:   true,
+		MinNodes:       2,
+	}
+}
+
+// ClusterAttempt records one armed run.
+type ClusterAttempt struct {
+	// Action is what the supervisor did before this attempt: "initial",
+	// "retry", "recompile", or "reroute".
+	Action string
+	// Nodes is the cluster size and Alg the composition of this attempt.
+	Nodes int
+	Alg   cluster.Algorithm
+	// Makespan of a completed run in ticks (0 on halt).
+	Makespan sim.Tick
+	// Events are the injector events that fired during this attempt.
+	Events []fault.ClusterEvent
+	// Err is the run diagnosis (nil when the attempt completed clean).
+	Err error
+}
+
+// ClusterReport is the cluster supervisor's verdict.
+type ClusterReport struct {
+	Job      ClusterJob
+	Shape    fault.ClusterShape
+	Outcome  Outcome
+	Attempts []ClusterAttempt
+	// ExcludedNodes lists the ORIGINAL node ids recompiled around, in
+	// exclusion order.
+	ExcludedNodes []int
+	// Makespan of the final successful attempt in ticks (0 if none).
+	Makespan sim.Tick
+	// DegradedMakespan is the completed-but-slow makespan a reroute was
+	// measured against (0 when no reroute was attempted).
+	DegradedMakespan sim.Tick
+	// FinalAlg and FinalNodes describe the composition that produced the
+	// final result.
+	FinalAlg   cluster.Algorithm
+	FinalNodes int
+	// Err is the last diagnosis when the job did not recover.
+	Err error
+}
+
+func (r ClusterReport) String() string {
+	s := fmt.Sprintf("%s @%s: %s after %d attempt(s)", r.Job, r.Shape, r.Outcome, len(r.Attempts))
+	if len(r.ExcludedNodes) > 0 {
+		s += fmt.Sprintf(", excluded nodes %v", r.ExcludedNodes)
+	}
+	if r.FinalAlg != "" && r.FinalAlg != r.Job.Alg {
+		s += fmt.Sprintf(", rerouted to %s", r.FinalAlg)
+	}
+	return s
+}
+
+// rerouteAlg picks the composition that minimizes traffic over one node's
+// lane: the binomial leader tree crosses any given lane O(log N) times where
+// the rings cross it O(N). Returns the input when no lane-avoiding
+// alternative exists for the collective (the tree compositions of bcast are
+// already trees; allgather has no tree inter phase).
+func rerouteAlg(coll string, alg cluster.Algorithm) cluster.Algorithm {
+	if coll == cluster.CollAllreduce && alg != cluster.LeaderTree {
+		return cluster.LeaderTree
+	}
+	if coll == cluster.CollBcast && alg == cluster.YHCCLHierarchical {
+		return cluster.LeaderTree
+	}
+	return alg
+}
+
+// firedPersistent reports whether a degraded lane or straggler node was
+// armed on the run (those faults fire by arming — they always affect every
+// run under the plan).
+func firedPersistent(events []fault.ClusterEvent) bool {
+	for _, ev := range events {
+		if ev.Kind == "link-degrade" || ev.Kind == "node-straggler" {
+			return true
+		}
+	}
+	return false
+}
+
+// SuperviseCluster runs the compiled job under the plan until it completes
+// (possibly on a recompiled or rerouted schedule) or the policy is
+// exhausted. With a nil/empty plan it is pass-through: one run, no wrapper,
+// makespan bit-identical to the healthy event-engine path.
+func SuperviseCluster(c *cluster.Cluster, job ClusterJob, plan *fault.ClusterPlan, pol ClusterPolicy) ClusterReport {
+	shape := fault.ClusterShape{Nodes: c.Nodes, PerNode: c.PerNode}
+	rep := ClusterReport{Job: job, Shape: shape, FinalAlg: job.Alg, FinalNodes: c.Nodes}
+	if err := plan.Validate(shape); err != nil {
+		rep.Outcome, rep.Err = Undiagnosed, err
+		return rep
+	}
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = 1
+	}
+
+	cur := c
+	curPlan := plan
+	alg := job.Alg
+	// origNode maps the current cluster's node ids back to original ids.
+	origNode := make([]int, c.Nodes)
+	for i := range origNode {
+		origNode[i] = i
+	}
+	action := "initial"
+	retries := 0
+	rerouted := false
+
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		prog, err := cur.Compile(job.Coll, alg, job.Elems, job.Opts)
+		if err != nil {
+			rep.Outcome, rep.Err = Undiagnosed, err
+			return rep
+		}
+		run, rerr := cluster.RunArmed(prog, curPlan, pol.Horizon)
+		at := ClusterAttempt{Action: action, Nodes: cur.Nodes, Alg: alg,
+			Events: run.Events, Err: rerr}
+		if rerr == nil {
+			at.Makespan = run.Res.Makespan
+		}
+		rep.Attempts = append(rep.Attempts, at)
+		rep.FinalAlg, rep.FinalNodes = alg, cur.Nodes
+
+		if rerr == nil {
+			// Completed correct. If a persistent lane/node degradation fired
+			// and a lane-avoiding composition exists, try it once and keep
+			// the better schedule.
+			if firedPersistent(run.Events) && !rerouted && pol.AllowReroute {
+				if alt := rerouteAlg(job.Coll, alg); alt != alg {
+					rerouted = true
+					rep.DegradedMakespan = run.Res.Makespan
+					altProg, err := cur.Compile(job.Coll, alt, job.Elems, job.Opts)
+					if err == nil {
+						altRun, altErr := cluster.RunArmed(altProg, curPlan, pol.Horizon)
+						altAt := ClusterAttempt{Action: "reroute", Nodes: cur.Nodes,
+							Alg: alt, Events: altRun.Events, Err: altErr}
+						if altErr == nil {
+							altAt.Makespan = altRun.Res.Makespan
+						}
+						rep.Attempts = append(rep.Attempts, altAt)
+						if altErr == nil && altRun.Res.Makespan < run.Res.Makespan {
+							rep.Outcome, rep.Makespan = RecoveredReroute, altRun.Res.Makespan
+							rep.FinalAlg = alt
+							return rep
+						}
+					}
+				}
+				// No improving reroute: the degraded run stands, diagnosed.
+				if action == "initial" {
+					rep.Outcome, rep.Makespan = DegradedPass, run.Res.Makespan
+					return rep
+				}
+			}
+			rep.Makespan = run.Res.Makespan
+			switch action {
+			case "initial":
+				if firedPersistent(run.Events) {
+					rep.Outcome = DegradedPass
+				} else {
+					rep.Outcome = CleanPass
+				}
+			case "retry":
+				rep.Outcome = RecoveredClusterRetry
+			case "recompile":
+				rep.Outcome = RecoveredRecompile
+			default:
+				rep.Outcome = CleanPass
+			}
+			return rep
+		}
+
+		var cerr *cluster.ClusterRunError
+		if !errors.As(rerr, &cerr) {
+			rep.Outcome, rep.Err = Undiagnosed, rerr
+			return rep
+		}
+
+		switch {
+		case len(cerr.DeadNodes) > 0:
+			if !pol.AllowRecompile || cur.Nodes-len(cerr.DeadNodes) < pol.MinNodes {
+				rep.Outcome, rep.Err = Unrecoverable, cerr
+				return rep
+			}
+			dead := make(map[int]bool, len(cerr.DeadNodes))
+			for _, n := range cerr.DeadNodes {
+				dead[n] = true
+				rep.ExcludedNodes = append(rep.ExcludedNodes, origNode[n])
+			}
+			survivors := make([]int, 0, cur.Nodes-len(dead))
+			newOrig := make([]int, 0, cur.Nodes-len(dead))
+			for n := 0; n < cur.Nodes; n++ {
+				if !dead[n] {
+					survivors = append(survivors, n)
+					newOrig = append(newOrig, origNode[n])
+				}
+			}
+			origNode = newOrig
+			// Survivor renumbering at the node level: a fresh compile over
+			// N-len(dead) nodes rebuilds every ring lane and leader tree
+			// from the intra templates.
+			cur = cluster.New(cur.Node, len(survivors), cur.PerNode, cur.Net)
+			curPlan = curPlan.WithoutFiredCorruptions(run.Events).RestrictNodes(survivors)
+			action = "recompile"
+
+		case cerr.CorruptNode >= 0:
+			if retries >= pol.MaxRetries {
+				rep.Outcome, rep.Err = Unrecoverable, cerr
+				return rep
+			}
+			retries++
+			curPlan = curPlan.WithoutFiredCorruptions(run.Events)
+			action = "retry"
+
+		case cerr.HorizonHit:
+			rep.Outcome, rep.Err = Unrecoverable, cerr
+			return rep
+
+		default:
+			rep.Outcome, rep.Err = Undiagnosed, cerr
+			return rep
+		}
+	}
+	rep.Outcome = Unrecoverable
+	if rep.Err == nil && len(rep.Attempts) > 0 {
+		rep.Err = rep.Attempts[len(rep.Attempts)-1].Err
+	}
+	return rep
+}

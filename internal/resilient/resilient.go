@@ -59,10 +59,12 @@ const (
 	Undiagnosed Outcome = "UNDIAGNOSED"
 )
 
-// Recovered reports whether o is one of the recovered-* outcomes.
+// Recovered reports whether o is one of the recovered-* outcomes (rank- or
+// cluster-level; see cluster.go for the cluster outcomes).
 func (o Outcome) Recovered() bool {
 	switch o {
-	case RecoveredRetry, RecoveredRemap, RecoveredShrink, RecoveredFallback:
+	case RecoveredRetry, RecoveredRemap, RecoveredShrink, RecoveredFallback,
+		RecoveredRecompile, RecoveredReroute, RecoveredClusterRetry:
 		return true
 	}
 	return false
@@ -239,6 +241,15 @@ func Supervise(m *mpi.Machine, job Job, pol Policy) Report {
 			// Correct result — but a straggler that fired leaves the result
 			// degraded; quarantine or fall back before accepting.
 			if sr := stragglerRanks(events); len(sr) > 0 {
+				// A flip that fired on this run is spent even though the
+				// output validated (it landed on an intermediate that was
+				// overwritten): consume it before any re-arm, or the re-run
+				// after the quarantine/fallback replays the transient.
+				rearmed := false
+				if len(firedFlips(events)) > 0 {
+					plan = plan.WithoutFiredCorruptions(events)
+					rearmed = true
+				}
 				if pol.AllowRemap && m.Spares() > 0 {
 					victim := sr[0]
 					core, qerr := m.Quarantine(victim)
@@ -257,6 +268,12 @@ func Supervise(m *mpi.Machine, job Job, pol Policy) Report {
 					}
 				}
 				if depth < maxDepth && lastAction != "fallback" {
+					if rearmed {
+						if err := m.SetFaultPlan(plan); err != nil {
+							rep.Outcome, rep.Err = Undiagnosed, err
+							return rep
+						}
+					}
 					depth++
 					lastAction = "fallback"
 					continue

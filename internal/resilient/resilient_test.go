@@ -242,3 +242,68 @@ func TestSupervisionIsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a fault scheduled to fire only after the first recovery
+// point must still fire on the rebuilt machine and be recovered — the
+// supervisor re-arms the RESTRICTED plan after a shrink, so a transient
+// flip on a survivor lands during the post-shrink re-run and is then
+// consumed by a retry.
+func TestSecondFaultAfterShrinkFiresAndRecovers(t *testing.T) {
+	const p, n = 6, 4096
+	m := mpi.NewMachine(topo.NodeA(), p, true)
+	pl := &fault.Plan{Name: "crash-then-flip",
+		Stalls:      []fault.Stall{{Rank: 0, At: 0, Crash: true}},
+		Corruptions: []fault.Corruption{{Rank: 3, SharedWrite: 6, Elem: 13, Bit: 51}},
+	}
+	if err := m.SetFaultPlan(pl); err != nil {
+		t.Fatal(err)
+	}
+	rep := Supervise(m, allreduceJob("yhccl", n), DefaultPolicy())
+	if rep.Outcome != RecoveredRetry {
+		t.Fatalf("outcome = %s (%v)\nattempts: %+v", rep.Outcome, rep.Err, rep.Attempts)
+	}
+	if len(rep.Excluded) != 1 || rep.Excluded[0] != 0 {
+		t.Fatalf("excluded = %v, want [0]", rep.Excluded)
+	}
+	// The flip must have fired on an attempt AFTER the shrink (the rebuilt
+	// machine), under the survivor numbering (old rank 3 -> new rank 2).
+	flipAttempt := -1
+	for i, at := range rep.Attempts {
+		for _, ev := range at.Faults {
+			if ev.Kind == "bitflip" {
+				flipAttempt = i
+				if at.Action != "shrink" {
+					t.Fatalf("flip fired on action %q, want the post-shrink re-run", at.Action)
+				}
+				if ev.Rank != 2 {
+					t.Fatalf("flip fired on rank %d, want renumbered rank 2", ev.Rank)
+				}
+			}
+		}
+	}
+	if flipAttempt < 0 {
+		t.Fatalf("second fault never fired after the shrink:\nattempts: %+v", rep.Attempts)
+	}
+}
+
+// Regression: after a quarantine remaps the first straggler, the re-armed
+// plan must keep the second straggler firing so it is quarantined too.
+func TestSecondStragglerAfterQuarantineFiresAndRecovers(t *testing.T) {
+	const p, n = 4, 4096
+	m := mpi.NewMachineWithSpares(topo.NodeA(), p, 2, true)
+	pl := &fault.Plan{Name: "two-stragglers", Stragglers: []fault.Straggler{
+		{Rank: 1, Factor: 32}, {Rank: 2, Factor: 32}}}
+	if err := m.SetFaultPlan(pl); err != nil {
+		t.Fatal(err)
+	}
+	rep := Supervise(m, allreduceJob("yhccl", n), DefaultPolicy())
+	if rep.Outcome != RecoveredRemap {
+		t.Fatalf("outcome = %s (%v)\nattempts: %+v", rep.Outcome, rep.Err, rep.Attempts)
+	}
+	if len(rep.Remapped) != 2 {
+		t.Fatalf("remapped = %v, want both stragglers on spares", rep.Remapped)
+	}
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("%d attempts, want 3 (initial, remap, remap)", len(rep.Attempts))
+	}
+}

@@ -44,6 +44,10 @@ type StreamConfig struct {
 	// Rate is the offered load in job arrivals per virtual second;
 	// interarrivals are exponential with mean 1/Rate.
 	Rate float64
+	// QueueBudget bounds the scheduler's admission queue (0 = unbounded):
+	// arrivals past the budget are shed deterministically (reject-newest)
+	// instead of queuing without bound under overload.
+	QueueBudget int
 }
 
 // GenStream draws a deterministic arrival stream from the config.
@@ -106,8 +110,14 @@ type LoadPoint struct {
 	Classes    []ClassStats // sorted by class name
 	Outcomes   map[resilient.Outcome]int
 	Undiag     int // jobs the supervisor could not diagnose
-	EventLog   []string
-	Placement  Placement
+	// Shed counts arrivals rejected by the queue budget; Jobs and the
+	// percentiles cover admitted jobs only.
+	Shed int
+	// DeadlineViolations counts admitted jobs that finished past their
+	// spec deadline.
+	DeadlineViolations int
+	EventLog           []string
+	Placement          Placement
 }
 
 // percentile returns the nearest-rank q-quantile of a sorted slice.
@@ -132,6 +142,7 @@ func RunLoad(node *topo.Node, placement Placement, cfg StreamConfig, oracle Orac
 	if oracle != nil {
 		s.SetServiceOracle(oracle)
 	}
+	s.SetQueueBudget(cfg.QueueBudget)
 	results, err := s.Run(arrivals)
 	if err != nil {
 		return LoadPoint{}, err
@@ -143,7 +154,6 @@ func RunLoad(node *topo.Node, placement Placement, cfg StreamConfig, oracle Orac
 func summarize(results []JobResult, rate float64, placement Placement, log []string) LoadPoint {
 	lp := LoadPoint{
 		Rate:      rate,
-		Jobs:      len(results),
 		Outcomes:  make(map[resilient.Outcome]int),
 		EventLog:  log,
 		Placement: placement,
@@ -151,6 +161,11 @@ func summarize(results []JobResult, rate float64, placement Placement, log []str
 	var all []float64
 	byClass := make(map[string][]float64)
 	for _, r := range results {
+		if r.Shed {
+			lp.Shed++
+			continue
+		}
+		lp.Jobs++
 		ms := r.Makespan()
 		all = append(all, ms)
 		byClass[r.Class] = append(byClass[r.Class], ms)
@@ -160,6 +175,9 @@ func summarize(results []JobResult, rate float64, placement Placement, log []str
 		lp.Outcomes[r.Outcome]++
 		if r.Outcome == resilient.Undiagnosed {
 			lp.Undiag++
+		}
+		if r.DeadlineMiss() {
+			lp.DeadlineViolations++
 		}
 	}
 	sort.Float64s(all)
@@ -205,9 +223,11 @@ func Sweep(node *topo.Node, placement Placement, mix []JobSpec, seed uint64, job
 }
 
 // Gate checks serving invariants over a sweep: every fault-seeded tenant
-// must at least diagnose (zero UNDIAGNOSED anywhere), and the aggregate
-// p99 makespan at every load point must stay within budget. Returns the
-// violations (empty means pass).
+// must at least diagnose (zero UNDIAGNOSED anywhere), the aggregate p99
+// makespan at every load point must stay within budget, and no admitted
+// job may finish past its deadline — under overload the scheduler must
+// protect latency by shedding at admission, never by serving admitted
+// jobs late. Returns the violations (empty means pass).
 func Gate(points []LoadPoint, p99Budget float64) []string {
 	var violations []string
 	for _, lp := range points {
@@ -219,6 +239,10 @@ func Gate(points []LoadPoint, p99Budget float64) []string {
 			violations = append(violations,
 				fmt.Sprintf("rate=%.3f: p99 %.6fs exceeds budget %.6fs", lp.Rate, lp.P99, p99Budget))
 		}
+		if lp.DeadlineViolations > 0 {
+			violations = append(violations,
+				fmt.Sprintf("rate=%.3f: %d admitted jobs missed their deadline", lp.Rate, lp.DeadlineViolations))
+		}
 	}
 	return violations
 }
@@ -227,11 +251,11 @@ func Gate(points []LoadPoint, p99Budget float64) []string {
 // the CLI and EXPERIMENTS.md.
 func Render(points []LoadPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-9s %6s %12s %12s %12s %12s\n",
-		"rate(j/s)", "place", "jobs", "tput(j/s)", "p50(s)", "p99(s)", "span(s)")
+	fmt.Fprintf(&b, "%-10s %-9s %6s %6s %12s %12s %12s %12s\n",
+		"rate(j/s)", "place", "jobs", "shed", "tput(j/s)", "p50(s)", "p99(s)", "span(s)")
 	for _, lp := range points {
-		fmt.Fprintf(&b, "%-10.3f %-9s %6d %12.4f %12.6f %12.6f %12.4f\n",
-			lp.Rate, lp.Placement, lp.Jobs, lp.Throughput, lp.P50, lp.P99, lp.Makespan)
+		fmt.Fprintf(&b, "%-10.3f %-9s %6d %6d %12.4f %12.6f %12.6f %12.4f\n",
+			lp.Rate, lp.Placement, lp.Jobs, lp.Shed, lp.Throughput, lp.P50, lp.P99, lp.Makespan)
 		for _, c := range lp.Classes {
 			fmt.Fprintf(&b, "  %-17s %6d %12s %12.6f %12.6f\n",
 				c.Name, c.Jobs, "", c.P50, c.P99)

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"yhccl/internal/topo"
+)
+
+// slowOracle makes every job take long enough that an overloaded stream
+// builds a real queue.
+func slowOracle(spec JobSpec, perSocket, ext []int) float64 {
+	return 1e-2 * float64(spec.Ranks) * float64(spec.Calls)
+}
+
+// A bounded queue sheds the excess deterministically: admitted+shed
+// accounts for every arrival, the event log records each shed, and two
+// cold runs agree byte for byte.
+func TestQueueBudgetSheds(t *testing.T) {
+	node := topo.NodeA()
+	cfg := StreamConfig{Seed: 11, Mix: testMix(), Jobs: 120, Rate: 500, QueueBudget: 4}
+	run := func() (LoadPoint, string) {
+		lp, err := RunLoad(node, PlaceAuto, cfg, slowOracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lp, strings.Join(lp.EventLog, "\n")
+	}
+	lp, logA := run()
+	if lp.Shed == 0 {
+		t.Fatal("overloaded bounded queue shed nothing")
+	}
+	if lp.Jobs+lp.Shed != cfg.Jobs {
+		t.Fatalf("admitted %d + shed %d != %d arrivals", lp.Jobs, lp.Shed, cfg.Jobs)
+	}
+	if got := strings.Count(logA, " shed "); got != lp.Shed {
+		t.Fatalf("event log records %d sheds, load point %d", got, lp.Shed)
+	}
+	_, logB := run()
+	if logA != logB {
+		t.Fatalf("shedding diverged across cold runs:\n%s\n---\n%s", logA, logB)
+	}
+}
+
+// Without a budget the same stream queues without bound and admitted
+// jobs blow their deadlines; with the budget the queue is cut and every
+// admitted job meets its deadline — the gate sees exactly that.
+func TestDeadlinesNeedShedding(t *testing.T) {
+	node := topo.NodeA()
+	mix := testMix()
+	for i := range mix {
+		mix[i].Deadline = 0.5
+	}
+	unbounded := StreamConfig{Seed: 11, Mix: mix, Jobs: 120, Rate: 500}
+	lpU, err := RunLoad(node, PlaceAuto, unbounded, slowOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpU.DeadlineViolations == 0 {
+		t.Fatal("unbounded queue under overload missed no deadlines — test premise broken")
+	}
+	if vs := Gate([]LoadPoint{lpU}, 0); len(vs) == 0 {
+		t.Fatal("gate ignored deadline violations")
+	}
+
+	bounded := unbounded
+	bounded.QueueBudget = 4
+	lpB, err := RunLoad(node, PlaceAuto, bounded, slowOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpB.DeadlineViolations != 0 {
+		t.Fatalf("bounded queue still missed %d deadlines", lpB.DeadlineViolations)
+	}
+	if vs := Gate([]LoadPoint{lpB}, 0); len(vs) != 0 {
+		t.Fatalf("gate failed the bounded run: %v", vs)
+	}
+}
+
+// A zero budget means unbounded: nothing is shed, behavior is unchanged.
+func TestZeroQueueBudgetUnbounded(t *testing.T) {
+	node := topo.NodeA()
+	cfg := StreamConfig{Seed: 11, Mix: testMix(), Jobs: 60, Rate: 500}
+	lp, err := RunLoad(node, PlaceAuto, cfg, slowOracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Shed != 0 || lp.Jobs != cfg.Jobs {
+		t.Fatalf("unbounded run shed jobs: admitted=%d shed=%d", lp.Jobs, lp.Shed)
+	}
+}
+
+// The sim-backed overload gate passes at 1.5x the saturating rate of the
+// reference sweep.
+func TestOverloadGate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := OverloadGate(&buf, topo.NodeA(), 42, 150, 2.0); err != nil {
+		t.Fatalf("overload gate failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "serve overload gate: PASS") {
+		t.Fatalf("missing pass verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "shed=") {
+		t.Fatalf("report missing shed stats:\n%s", out)
+	}
+}

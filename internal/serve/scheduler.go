@@ -27,6 +27,11 @@ type Scheduler struct {
 	clock        float64
 	log          []string
 	results      []JobResult
+	// queueBudget caps the admission queue length (0 = unbounded). An
+	// arrival that would push the queue past the budget is shed — rejected
+	// deterministically at submission (reject-newest: queued jobs keep
+	// their FIFO position, the newcomer is turned away).
+	queueBudget int
 }
 
 // job is one admitted or queued request.
@@ -60,6 +65,16 @@ type JobResult struct {
 	// Outcome is the resilient supervisor's verdict for fault-seeded
 	// tenants (CleanPass for healthy jobs).
 	Outcome resilient.Outcome
+	// Shed marks a job rejected at admission by the queue budget; only
+	// ID/Class/Ranks/Arrive are meaningful then.
+	Shed bool
+	// Deadline is the spec's submission-to-completion budget (0 = none).
+	Deadline float64
+}
+
+// DeadlineMiss reports whether an admitted job finished past its deadline.
+func (r JobResult) DeadlineMiss() bool {
+	return !r.Shed && r.Deadline > 0 && r.Makespan() > r.Deadline
 }
 
 // Makespan is the job's submission-to-completion time (queueing included).
@@ -89,6 +104,9 @@ func NewScheduler(node *topo.Node, placement Placement) *Scheduler {
 // SetServiceOracle replaces sim-backed service measurement with a pure
 // function — for scheduler micro-benchmarks only.
 func (s *Scheduler) SetServiceOracle(o Oracle) { s.ms.oracle = o }
+
+// SetQueueBudget bounds the admission queue (0 = unbounded, the default).
+func (s *Scheduler) SetQueueBudget(n int) { s.queueBudget = n }
 
 // EventLog returns the admission/placement event log: one line per
 // arrival, admission and completion, with fixed formatting so identical
@@ -174,10 +192,20 @@ func (s *Scheduler) nextCompletion() (float64, *job) {
 	return t, pick
 }
 
-// submit logs an arrival and queues the job.
+// submit logs an arrival and queues the job — or sheds it when the queue
+// is at budget.
 func (s *Scheduler) submit(a Arrival, idx int) {
 	j := &job{id: idx, spec: a.Spec, arrive: a.At}
 	s.logf("t=%.9f arrive job=%d class=%s ranks=%d", s.clock, j.id, j.spec.Name, j.spec.Ranks)
+	if s.queueBudget > 0 && len(s.queue) >= s.queueBudget {
+		s.logf("t=%.9f shed job=%d class=%s queued=%d budget=%d",
+			s.clock, j.id, j.spec.Name, len(s.queue), s.queueBudget)
+		s.results = append(s.results, JobResult{
+			ID: j.id, Class: j.spec.Name, Ranks: j.spec.Ranks,
+			Arrive: j.arrive, Shed: true, Deadline: j.spec.Deadline,
+		})
+		return
+	}
 	s.queue = append(s.queue, j)
 }
 
@@ -223,7 +251,7 @@ func (s *Scheduler) complete(j *job) {
 	res := JobResult{
 		ID: j.id, Class: j.spec.Name, Ranks: j.spec.Ranks,
 		Arrive: j.arrive, Admit: j.admit, Done: s.clock,
-		Outcome: j.outcome,
+		Outcome: j.outcome, Deadline: j.spec.Deadline,
 	}
 	s.results = append(s.results, res)
 	s.logf("t=%.9f complete job=%d class=%s makespan=%.9f outcome=%s",

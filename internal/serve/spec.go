@@ -92,6 +92,12 @@ type JobSpec struct {
 	// the tenant must recover (or at worst diagnose) without perturbing
 	// its neighbors' leases.
 	FaultSeed uint64
+	// Deadline is the job's submission-to-completion budget in virtual
+	// seconds (0 = none). The scheduler never drops an admitted job for
+	// missing its deadline — violations are counted and gated instead, so
+	// an overloaded system must protect deadlines by shedding at
+	// admission, not by aborting work in flight.
+	Deadline float64
 }
 
 // Validate checks a spec for the scheduler's requirements.
@@ -115,6 +121,9 @@ func (j JobSpec) Validate() error {
 	}
 	if j.Weight < 0 {
 		return fmt.Errorf("serve: job %q: negative Weight", j.Name)
+	}
+	if j.Deadline < 0 {
+		return fmt.Errorf("serve: job %q: negative Deadline", j.Name)
 	}
 	return nil
 }

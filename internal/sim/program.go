@@ -133,12 +133,28 @@ type programRunner struct {
 	visitFn     func(depRank, depStep int) bool
 	handleFn    func(now Tick, actor, data int32)
 	makespan    Tick
+
+	// Optional fault arming (program_fault.go). All nil/zero on the healthy
+	// path, where the added branches are never taken — completion times are
+	// bit-identical to an unarmed run.
+	crash     []Tick // poison tick per rank, -1 = healthy
+	dead      []bool // ranks whose state machine was poisoned
+	deadCount int
+	horizon   Tick // no-progress watchdog; 0 = none
+	halted    bool
+	haltNow   Tick
+	notify    func(rank, step int32, now Tick)
+	onDead    func(rank int32, at Tick)
 }
 
 // RunProgramEvent executes a program on the event-calendar engine: no
 // goroutines, flat per-rank state (done counter + one intrusive wait link),
 // one completion event in flight per rank.
 func RunProgramEvent(p Program) (ProgramResult, error) {
+	return runProgramEvent(p, nil)
+}
+
+func runProgramEvent(p Program, f *ProgramFaults) (ProgramResult, error) {
 	R := p.Ranks()
 	r := &programRunner{
 		prog:     p,
@@ -152,6 +168,18 @@ func RunProgramEvent(p Program) (ProgramResult, error) {
 		r.waitHead[i] = -1
 		r.waitNext[i] = -1
 	}
+	if f != nil {
+		if f.CrashTick != nil {
+			if len(f.CrashTick) != R {
+				return ProgramResult{}, fmt.Errorf("sim: crash ticks for %d ranks, program has %d", len(f.CrashTick), R)
+			}
+			r.crash = f.CrashTick
+			r.dead = make([]bool, R)
+		}
+		r.horizon = f.Horizon
+		r.notify = f.OnComplete
+		r.onDead = f.OnDead
+	}
 	r.visitFn = r.visit
 	r.handleFn = r.handle
 	for i := 0; i < R; i++ {
@@ -159,6 +187,9 @@ func RunProgramEvent(p Program) (ProgramResult, error) {
 	}
 	r.engine.Run(r.handleFn)
 	if r.finished != R {
+		if f != nil {
+			return ProgramResult{}, r.halt()
+		}
 		return ProgramResult{}, r.deadlock()
 	}
 	return ProgramResult{
@@ -199,14 +230,40 @@ func (r *programRunner) attempt(rank int32, now Tick) {
 		r.waitHead[q] = rank
 		return
 	}
-	r.engine.Post(now+r.prog.Duration(int(rank), int(s)), rank, 0)
+	fin := now + r.prog.Duration(int(rank), int(s))
+	if r.crash != nil {
+		if t := r.crash[rank]; t >= 0 && fin >= t {
+			// The rank's machine is poisoned before this step can complete:
+			// the step vanishes in flight and the rank posts nothing more.
+			if !r.dead[rank] {
+				r.dead[rank] = true
+				r.deadCount++
+				if r.onDead != nil {
+					r.onDead(rank, t)
+				}
+			}
+			return
+		}
+	}
+	r.engine.Post(fin, rank, 0)
 }
 
 // handle processes one step-completion event: bump the rank's done count,
 // wake now-eligible waiters (each re-scans its remaining dependencies), and
 // start the rank's own next step.
 func (r *programRunner) handle(now Tick, actor, _ int32) {
+	if r.halted {
+		return // draining the calendar after the watchdog fired
+	}
+	if r.horizon > 0 && now > r.horizon {
+		r.halted = true
+		r.haltNow = now
+		return
+	}
 	r.done[actor]++
+	if r.notify != nil {
+		r.notify(actor, r.done[actor]-1, now)
+	}
 	if now > r.makespan {
 		r.makespan = now
 	}

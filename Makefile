@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: build test test-race race race-fast vet chaos chaos-recover chaos-cluster scale engine-compare ci bench bench-baseline bench-compare tune tune-full plan-verify serve serve-overload
+.PHONY: build test test-race race race-fast vet chaos chaos-recover chaos-cluster chaos-churn scale engine-compare ci bench bench-baseline bench-compare tune tune-full plan-verify serve serve-overload
 
 # Single CI entrypoint: vet, the full test suite (incl. the fast race pass),
-# the fault-injection gates (rank-level, recovery, and cluster-scale), the
-# cluster-scale smoke gate, the tuned-plan pipeline (quick-budget synthesis
-# + the beats-or-matches gate), then the multi-tenant serving gates
-# (steady-state sweep and the bounded-queue overload point).
-ci: test chaos chaos-recover chaos-cluster scale tune plan-verify serve serve-overload
+# the fault-injection gates (rank-level, recovery, cluster-scale, and
+# membership churn), the cluster-scale smoke gate, the tuned-plan pipeline
+# (quick-budget synthesis + the beats-or-matches gate), then the
+# multi-tenant serving gates (steady-state sweep and the bounded-queue
+# overload point).
+ci: test chaos chaos-recover chaos-cluster chaos-churn scale tune plan-verify serve serve-overload
 
 build:
 	$(GO) build ./...
@@ -52,6 +53,14 @@ chaos-recover:
 # UNDIAGNOSED outcome, unrecovered crash/degrade, or budget violation.
 chaos-cluster:
 	$(GO) run ./cmd/yhcclbench -chaos-cluster
+
+# Membership-churn gates: seeded crash->heal->rejoin cycles at 4096 ranks
+# (every cycle must end recovered-by-rejoin at full membership under the
+# flat-memory budgets) plus capacity shrink/grow serving at 1.2x the
+# saturating rate (leases drain, admitted jobs never miss deadlines).
+# Exits nonzero on any violation.
+chaos-churn:
+	$(GO) run ./cmd/yhcclbench -churn
 
 # Cluster-scale smoke gate: 65536- and 262144-rank event-engine sweeps must
 # finish within wall-clock and per-rank allocation budgets with zero

@@ -384,6 +384,42 @@ func clusterRecompile(b *testing.B) {
 	}
 }
 
+// clusterRejoin measures the rejoin compile: the fresh full-membership
+// hierarchical-allreduce schedule a healed node's re-entry pays for — the
+// mirror of cluster_recompile one epoch later, back at all 64 nodes.
+func clusterRejoin(b *testing.B) {
+	node := topo.NodeA()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := cluster.New(node, 64, 64, cluster.IB100())
+		c.Epoch = 2
+		if _, err := c.CompileAllreduce(cluster.YHCCLHierarchical, 1<<16, cluster.ScheduleOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// epochCheckOverhead measures the healthy path of an epoch-stamped world:
+// the crossover program through the armed runner on a cluster two
+// membership epochs in. Epoch checking is an integer compare on resource
+// acquisition — the figure of merit is the delta against program_event /
+// cluster_fault_overhead, which must stay ~zero.
+func epochCheckOverhead(b *testing.B) {
+	c := cluster.New(topo.NodeA(), 16, 64, cluster.IB100())
+	c.Epoch = 2
+	prog, err := c.CompileAllreduce(cluster.YHCCLHierarchical, (2<<20)/8, cluster.ScheduleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.RunArmed(prog, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // engineCompare runs both engines over the shared parity matrix and fails
 // on any makespan divergence — the gate, invocable from CI.
 func engineCompare(verbose bool) (int, error) {
@@ -488,6 +524,8 @@ func realMain() int {
 	run("serve_mixed_load", serveMixedLoad, rep.Benchmarks)
 	run("cluster_fault_overhead", clusterFaultOverhead, rep.Benchmarks)
 	run("cluster_recompile", clusterRecompile, rep.Benchmarks)
+	run("cluster_rejoin", clusterRejoin, rep.Benchmarks)
+	run("epoch_check_overhead", epochCheckOverhead, rep.Benchmarks)
 
 	fmt.Fprintf(os.Stderr, "running engine parity matrix...\n")
 	nParity, err := engineCompare(false)

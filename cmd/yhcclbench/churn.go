@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"yhccl/internal/chaos"
+	"yhccl/internal/serve"
+)
+
+// runChurn drives both churn gates back to back: the cluster gate
+// (seeded crash->heal->rejoin cycles at 4096 ranks, every cycle must end
+// recovered-by-rejoin at full membership under flat-memory budgets) and
+// the serving gate (capacity shrink/grow cycles under the deadline mix at
+// `load` times the saturating rate — leases drain, admitted jobs never
+// miss deadlines). Either gate failing fails the run.
+func runChurn(w io.Writer, nodeName string, cycles int, seed uint64, load float64) error {
+	fmt.Fprintln(w, "=== cluster churn: crash -> heal -> rejoin ===")
+	if bad := chaos.ChurnGate(w, cycles, seed); bad > 0 {
+		return fmt.Errorf("%d cluster churn-gate violations", bad)
+	}
+	node, err := nodeByName(nodeName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n=== serving churn: capacity shrink/grow under load ===")
+	return serve.ChurnGate(w, node, serve.ChurnConfig{
+		Seed:     seed,
+		Cycles:   cycles,
+		LoadMult: load,
+	})
+}

@@ -65,14 +65,24 @@ func runFaultSave(w io.Writer, path, shapeCSV string, ranks int, seed uint64) er
 // runFaultReplay loads a plan file and replays it under the matching
 // supervisor: a rank plan through the recovery sweep's reference
 // allreduce, a cluster plan through the cluster supervisor at the plan's
-// shape. Returns an error when the replay violates the recovery gate.
-func runFaultReplay(w io.Writer, path string) error {
+// shape. When the caller pins a world (-fault-shape for cluster plans,
+// an explicit -fault-ranks for rank plans), the plan is validated against
+// it BEFORE anything is armed — a plan whose node ids or ticks fall
+// outside the declared world is rejected with the fault package's typed
+// errors (fault.ErrPlanShape / fault.ErrPlanRange), not armed and left to
+// misfire. Returns an error when the replay violates the recovery gate.
+func runFaultReplay(w io.Writer, path, shapeCSV string, ranks int, ranksSet bool) error {
 	pf, err := fault.LoadPlanFile(path)
 	if err != nil {
 		return err
 	}
 	switch {
 	case pf.Rank != nil:
+		if ranksSet {
+			if err := pf.Rank.Validate(ranks); err != nil {
+				return fmt.Errorf("plan %s does not fit -fault-ranks %d: %w", path, ranks, err)
+			}
+		}
 		fmt.Fprintf(w, "replaying rank plan %s on %d ranks:\n%s\n\n", path, pf.Ranks, pf.Rank)
 		res := chaos.RunRecover(chaos.Case{
 			Collective: "allreduce", Algo: "yhccl",
@@ -82,6 +92,15 @@ func runFaultReplay(w io.Writer, path string) error {
 			return fmt.Errorf("replay: %d recovery-gate violations", bad)
 		}
 	case pf.Cluster != nil:
+		if shapeCSV != "" {
+			shape, err := parseShape(shapeCSV)
+			if err != nil {
+				return err
+			}
+			if err := pf.Cluster.Validate(shape); err != nil {
+				return fmt.Errorf("plan %s does not fit -fault-shape %s: %w", path, shape, err)
+			}
+		}
 		sh := pf.Cluster.Shape
 		fmt.Fprintf(w, "replaying cluster plan %s at %s:\n%s\n\n", path, sh, pf.Cluster)
 		res := chaos.RunCluster(chaos.ClusterCase{

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"yhccl/internal/fault"
+)
+
+// A replayed cluster plan that does not fit the declared -fault-shape is
+// rejected with the fault package's typed error BEFORE anything is armed.
+func TestReplayRejectsMismatchedShape(t *testing.T) {
+	pl := &fault.ClusterPlan{
+		Name:    "wide",
+		Shape:   fault.ClusterShape{Nodes: 8, PerNode: 4},
+		Crashes: []fault.NodeCrash{{Node: 6, AtTick: 100}},
+	}
+	path := filepath.Join(t.TempDir(), "wide.json")
+	if err := fault.SaveClusterPlan(path, pl); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := runFaultReplay(&buf, path, "4x4", 8, false)
+	if err == nil {
+		t.Fatal("mismatched shape accepted")
+	}
+	if !errors.Is(err, fault.ErrPlanShape) {
+		t.Fatalf("error %v does not wrap fault.ErrPlanShape", err)
+	}
+}
+
+// An explicit -fault-ranks pins the rank-plan world: a plan naming ranks
+// outside it is rejected with the range error before arming.
+func TestReplayRejectsRankPlanOutsideWorld(t *testing.T) {
+	pl := &fault.Plan{
+		Name:        "r6",
+		Corruptions: []fault.Corruption{{Rank: 6}},
+	}
+	path := filepath.Join(t.TempDir(), "r6.json")
+	if err := fault.SavePlan(path, pl, 8); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := runFaultReplay(&buf, path, "", 4, true)
+	if err == nil {
+		t.Fatal("rank plan outside -fault-ranks world accepted")
+	}
+	if !errors.Is(err, fault.ErrPlanRange) {
+		t.Fatalf("error %v does not wrap fault.ErrPlanRange", err)
+	}
+	// Without the explicit flag the file's own recorded world stands.
+	buf.Reset()
+	if err := runFaultReplay(&buf, path, "", 4, false); err != nil {
+		t.Fatalf("replay under the recorded world failed: %v", err)
+	}
+}

@@ -23,9 +23,13 @@
 //	yhcclbench -serve-gate           # serving sweep with a fault tenant (exit 1 on gate violation)
 //	yhcclbench -serve-overload       # overload point at 1.5x saturation: bounded queue, deadlines (exit 1 on violation)
 //	yhcclbench -chaos-cluster        # cluster-scale fault sweep at 4k-16k ranks (exit 1 on gate violation)
+//	yhcclbench -churn                # membership-churn gates: crash->heal->rejoin at 4k ranks plus capacity
+//	                                 # shrink/grow serving at 1.2x saturation (exit 1 on violation)
 //	yhcclbench -fault-save p.json -fault-shape 64x64 -seed 7
 //	                                 # write a seeded cluster fault plan as versioned JSON
 //	yhcclbench -fault-plan p.json    # replay a saved fault plan under the matching supervisor
+//	yhcclbench -fault-plan p.json -fault-shape 64x64
+//	                                 # validate the plan against the declared world before arming
 package main
 
 import (
@@ -69,9 +73,12 @@ func main() {
 		overF    = flag.Bool("serve-overload", false, "run the serving overload gate at 1.5x saturation: bounded queue sheds, zero deadline violations among admitted jobs (exit 1 on violation)")
 		cChaosF  = flag.Bool("chaos-cluster", false, "run the cluster-scale fault sweep at 4k-16k ranks and exit (nonzero on any cluster-gate violation); -quick restricts to 4096 ranks")
 		fSaveF   = flag.String("fault-save", "", "write a seeded fault plan to this JSON file (-fault-shape for a cluster plan, -fault-ranks for a rank plan)")
-		fPlanF   = flag.String("fault-plan", "", "replay a saved fault-plan JSON file under the matching resilient supervisor")
-		fShapeF  = flag.String("fault-shape", "", "cluster shape NxP for -fault-save (e.g. 64x64)")
-		fRanksF  = flag.Int("fault-ranks", 8, "rank count for -fault-save rank plans")
+		fPlanF   = flag.String("fault-plan", "", "replay a saved fault-plan JSON file under the matching resilient supervisor (-fault-shape / -fault-ranks validate the plan against that world before arming)")
+		fShapeF  = flag.String("fault-shape", "", "cluster shape NxP (e.g. 64x64) for -fault-save and -fault-plan validation")
+		fRanksF  = flag.Int("fault-ranks", 8, "rank count for -fault-save rank plans and -fault-plan validation")
+		churnF   = flag.Bool("churn", false, "run the membership-churn gates: cluster crash->heal->rejoin cycles plus capacity shrink/grow serving (exit 1 on violation)")
+		churnCyc = flag.Int("churn-cycles", 8, "number of churn cycles for -churn (min 8)")
+		churnLd  = flag.Float64("churn-load", 1.2, "serving load multiplier over the saturating rate for -churn")
 	)
 	flag.Parse()
 
@@ -82,8 +89,20 @@ func main() {
 		return
 	}
 	if *fPlanF != "" {
-		if err := runFaultReplay(os.Stdout, *fPlanF); err != nil {
+		ranksSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "fault-ranks" {
+				ranksSet = true
+			}
+		})
+		if err := runFaultReplay(os.Stdout, *fPlanF, *fShapeF, *fRanksF, ranksSet); err != nil {
 			fatalf("fault-plan: %v", err)
+		}
+		return
+	}
+	if *churnF {
+		if err := runChurn(os.Stdout, *nodeF, *churnCyc, *seedF, *churnLd); err != nil {
+			fatalf("churn: %v", err)
 		}
 		return
 	}

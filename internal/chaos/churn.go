@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+
+	"yhccl/internal/cluster"
+	"yhccl/internal/fault"
+	"yhccl/internal/resilient"
+	"yhccl/internal/topo"
+)
+
+// Membership churn: the elastic-membership stress one level up from the
+// cluster sweep. Each cycle is a full crash -> recompile -> heal -> rejoin
+// round at 4096 ranks, generated from a seed so the whole gate replays
+// byte-for-byte. The contract is strict: every cycle must end
+// recovered-by-rejoin at full membership and exactly two epochs up
+// (recompile, rejoin), under the same flat-memory budgets the cluster
+// sweep enforces, with zero goroutine growth.
+
+// ChurnGate runs `cycles` seeded crash->heal->rejoin rounds and writes the
+// per-cycle report and verdict to w. Returns the number of violations.
+func ChurnGate(w io.Writer, cycles int, seed uint64) int {
+	if cycles < 8 {
+		cycles = 8
+	}
+	nodes, perNode := 64, 64
+	job := resilient.ClusterJob{Coll: cluster.CollAllreduce, Alg: cluster.YHCCLHierarchical, Elems: 1 << 16}
+
+	// The crash tick is drawn from the first half of the healthy makespan,
+	// so every generated crash is guaranteed to fire mid-run.
+	healthy := resilient.SuperviseCluster(
+		cluster.New(topo.NodeA(), nodes, perNode, cluster.IB100()),
+		job, nil, resilient.DefaultClusterPolicy())
+	if healthy.Outcome != resilient.CleanPass {
+		fmt.Fprintf(w, "GATE VIOLATION: healthy reference run not clean: %s: %v\n",
+			healthy.Outcome, healthy.Err)
+		return 1
+	}
+	horizon := int64(healthy.Makespan)
+	shape := fault.ClusterShape{Nodes: nodes, PerNode: perNode}
+
+	fmt.Fprintf(w, "churn gate: %d crash->heal->rejoin cycles @%dx%d seed=%d (healthy makespan %d ticks)\n\n",
+		cycles, nodes, perNode, seed, horizon)
+
+	var bad []string
+	var results []ClusterResult
+	for i := 0; i < cycles; i++ {
+		pl := fault.GenChurnPlan(seed+uint64(i), shape, horizon)
+		c := ClusterCase{Name: pl.Name, Nodes: nodes, PerNode: perNode, Job: job, Plan: pl}
+		r := RunCluster(c)
+		results = append(results, r)
+		rep := r.Report
+		fmt.Fprintf(w, "cycle %2d  %-22s %s runs=%d epoch=%d nodes=%d %4.0f B/rank/run %5.2f allocs/rank/run\n",
+			i, pl.Name, rep.Outcome, r.Runs, rep.FinalEpoch, rep.FinalNodes, r.BytesPerRun, r.AllocsPerRun)
+
+		if rep.Outcome != resilient.RecoveredRejoin {
+			bad = append(bad, fmt.Sprintf("cycle %d (%s): outcome %s, want recovered-by-rejoin: %v",
+				i, pl.Name, rep.Outcome, rep.Err))
+		}
+		if rep.FinalNodes != nodes {
+			bad = append(bad, fmt.Sprintf("cycle %d (%s): finished at %d nodes, want full %d",
+				i, pl.Name, rep.FinalNodes, nodes))
+		}
+		if rep.Outcome == resilient.RecoveredRejoin && rep.FinalEpoch != 2 {
+			bad = append(bad, fmt.Sprintf("cycle %d (%s): final epoch %d, want 2 (recompile, rejoin)",
+				i, pl.Name, rep.FinalEpoch))
+		}
+		// Flat memory across the full churn cycle: the same per-rank budgets
+		// the cluster sweep holds, plus zero goroutine growth.
+		if r.BytesPerRun > clusterMaxBytesPerRun {
+			bad = append(bad, fmt.Sprintf("cycle %d (%s): %.0f B/rank/run exceeds budget %d",
+				i, pl.Name, r.BytesPerRun, clusterMaxBytesPerRun))
+		}
+		if r.AllocsPerRun > clusterMaxAllocsPerRun {
+			bad = append(bad, fmt.Sprintf("cycle %d (%s): %.2f allocs/rank/run exceeds budget %d",
+				i, pl.Name, r.AllocsPerRun, clusterMaxAllocsPerRun))
+		}
+		if r.GoroutineDelta > 0 {
+			bad = append(bad, fmt.Sprintf("cycle %d (%s): goroutine count grew by %d across the churn cycle",
+				i, pl.Name, r.GoroutineDelta))
+		}
+	}
+
+	fmt.Fprint(w, "\n", ClusterTable(results))
+	for _, v := range bad {
+		fmt.Fprintf(w, "GATE VIOLATION: %s\n", v)
+	}
+	if len(bad) == 0 {
+		fmt.Fprintln(w, "churn gate: PASS")
+	}
+	return len(bad)
+}

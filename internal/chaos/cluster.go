@@ -211,6 +211,9 @@ func ReportCluster(w io.Writer, results []ClusterResult) int {
 		if len(r.Report.ExcludedNodes) > 0 {
 			line += fmt.Sprintf(" excluded=%v", r.Report.ExcludedNodes)
 		}
+		if len(r.Report.RejoinedNodes) > 0 {
+			line += fmt.Sprintf(" rejoined=%v epoch=%d", r.Report.RejoinedNodes, r.Report.FinalEpoch)
+		}
 		if r.Report.FinalAlg != "" && r.Report.FinalAlg != r.Case.Job.Alg {
 			line += fmt.Sprintf(" rerouted=%s", r.Report.FinalAlg)
 		}
@@ -247,7 +250,8 @@ func ClusterTable(results []ClusterResult) string {
 		switch {
 		case r.Report.Outcome == resilient.CleanPass:
 			t.clean++
-		case r.Report.Outcome == resilient.DegradedPass:
+		case r.Report.Outcome == resilient.DegradedPass,
+			r.Report.Outcome == resilient.DegradedPassShrunk:
 			t.degraded++
 		case r.Report.Outcome.Recovered():
 			t.recovered++

@@ -88,6 +88,12 @@ type Cluster struct {
 	PerNode int
 	Net     Network
 
+	// Epoch is the membership epoch this cluster was built for: 0 for a
+	// fresh cluster; the supervisor stamps each recompiled or rejoined
+	// cluster with a successor epoch so reports can name the membership a
+	// result came from. Plain data — the event path never reads it.
+	Epoch int
+
 	// machine is the representative node, reused across calls so that
 	// communicator state persists like a real job.
 	machine *mpi.Machine

@@ -9,9 +9,19 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+)
+
+var (
+	// ErrPlanShape marks a plan applied to a world of a different shape than
+	// the one it was generated for.
+	ErrPlanShape = errors.New("fault: plan/shape mismatch")
+	// ErrPlanRange marks a plan whose fault addresses a node, rank, tick or
+	// phase outside the target world.
+	ErrPlanRange = errors.New("fault: plan fault out of range")
 )
 
 // ClusterShape describes the world a cluster plan targets: Nodes homogeneous
@@ -70,6 +80,26 @@ type PhaseCorrupt struct {
 // a PhaseCorrupt can target.
 const ClusterPhases = 3
 
+// NodeHeal returns a crashed node to service: once the supervised runs have
+// accumulated AtTick of virtual time, the next recovery point rejoins the
+// node to the membership (fresh cluster over the enlarged world, epoch bump)
+// instead of leaving the cluster permanently shrunk. Heals are consumed by
+// the supervisor between runs, never by the run itself — a heal alone
+// injects nothing.
+type NodeHeal struct {
+	Node   int
+	AtTick int64
+}
+
+// LinkHeal restores a degraded NIC lane: once the supervised runs have
+// accumulated AtTick of virtual time, the lane's LinkDegrade stops applying
+// and a reroute taken to dodge it is undone (the original algorithm is
+// recompiled). Like NodeHeal, it is a supervisor-level event.
+type LinkHeal struct {
+	Node   int
+	AtTick int64
+}
+
 // ClusterPhaseName names a PhaseCorrupt phase index for diagnostics.
 func ClusterPhaseName(phase int) string {
 	switch phase {
@@ -93,6 +123,13 @@ type ClusterPlan struct {
 	LinkDegrades []LinkDegrade
 	Stragglers   []NodeStraggler
 	Corruptions  []PhaseCorrupt
+
+	// Heals and LinkHeals are supervisor-level recovery events (see NodeHeal
+	// and LinkHeal); they inject nothing into a run. Tagged omitempty so
+	// heal-free plans keep the exact on-disk canonical body (and checksum)
+	// they had before heals existed.
+	Heals     []NodeHeal `json:"Heals,omitempty"`
+	LinkHeals []LinkHeal `json:"LinkHeals,omitempty"`
 }
 
 // Empty reports whether the plan injects nothing.
@@ -119,6 +156,12 @@ func (pl *ClusterPlan) String() string {
 	for _, c := range pl.Corruptions {
 		s += fmt.Sprintf(" phase-corrupt(node%d %s)", c.Node, ClusterPhaseName(c.Phase))
 	}
+	for _, h := range pl.Heals {
+		s += fmt.Sprintf(" node-heal(node%d at tick %d)", h.Node, h.AtTick)
+	}
+	for _, h := range pl.LinkHeals {
+		s += fmt.Sprintf(" link-heal(node%d at tick %d)", h.Node, h.AtTick)
+	}
 	return s
 }
 
@@ -129,20 +172,20 @@ func (pl *ClusterPlan) Validate(shape ClusterShape) error {
 		return nil
 	}
 	if pl.Shape != (ClusterShape{}) && pl.Shape != shape {
-		return fmt.Errorf("fault: cluster plan targets shape %s, world is %s", pl.Shape, shape)
+		return fmt.Errorf("%w: cluster plan targets shape %s, world is %s", ErrPlanShape, pl.Shape, shape)
 	}
 	nodes := shape.Nodes
 	for _, c := range pl.Crashes {
 		if c.Node < 0 || c.Node >= nodes {
-			return fmt.Errorf("fault: node-crash node %d outside cluster of %d nodes", c.Node, nodes)
+			return fmt.Errorf("%w: node-crash node %d outside cluster of %d nodes", ErrPlanRange, c.Node, nodes)
 		}
 		if c.AtTick < 0 {
-			return fmt.Errorf("fault: node-crash node %d at negative tick %d", c.Node, c.AtTick)
+			return fmt.Errorf("%w: node-crash node %d at negative tick %d", ErrPlanRange, c.Node, c.AtTick)
 		}
 	}
 	for _, d := range pl.LinkDegrades {
 		if d.Node < 0 || d.Node >= nodes {
-			return fmt.Errorf("fault: link-degrade node %d outside cluster of %d nodes", d.Node, nodes)
+			return fmt.Errorf("%w: link-degrade node %d outside cluster of %d nodes", ErrPlanRange, d.Node, nodes)
 		}
 		if !(d.Factor >= 1) || math.IsInf(d.Factor, 0) {
 			return fmt.Errorf("fault: link-degrade node %d has invalid factor %v (want >= 1)", d.Node, d.Factor)
@@ -150,7 +193,7 @@ func (pl *ClusterPlan) Validate(shape ClusterShape) error {
 	}
 	for _, st := range pl.Stragglers {
 		if st.Node < 0 || st.Node >= nodes {
-			return fmt.Errorf("fault: node-straggler node %d outside cluster of %d nodes", st.Node, nodes)
+			return fmt.Errorf("%w: node-straggler node %d outside cluster of %d nodes", ErrPlanRange, st.Node, nodes)
 		}
 		if !(st.Factor >= 1) || math.IsInf(st.Factor, 0) {
 			return fmt.Errorf("fault: node-straggler node %d has invalid factor %v (want >= 1)", st.Node, st.Factor)
@@ -158,10 +201,26 @@ func (pl *ClusterPlan) Validate(shape ClusterShape) error {
 	}
 	for _, c := range pl.Corruptions {
 		if c.Node < 0 || c.Node >= nodes {
-			return fmt.Errorf("fault: phase-corrupt node %d outside cluster of %d nodes", c.Node, nodes)
+			return fmt.Errorf("%w: phase-corrupt node %d outside cluster of %d nodes", ErrPlanRange, c.Node, nodes)
 		}
 		if c.Phase < 0 || c.Phase >= ClusterPhases {
-			return fmt.Errorf("fault: phase-corrupt node %d targets phase %d (want 0..%d)", c.Node, c.Phase, ClusterPhases-1)
+			return fmt.Errorf("%w: phase-corrupt node %d targets phase %d (want 0..%d)", ErrPlanRange, c.Node, c.Phase, ClusterPhases-1)
+		}
+	}
+	for _, h := range pl.Heals {
+		if h.Node < 0 || h.Node >= nodes {
+			return fmt.Errorf("%w: node-heal node %d outside cluster of %d nodes", ErrPlanRange, h.Node, nodes)
+		}
+		if h.AtTick < 0 {
+			return fmt.Errorf("%w: node-heal node %d at negative tick %d", ErrPlanRange, h.Node, h.AtTick)
+		}
+	}
+	for _, h := range pl.LinkHeals {
+		if h.Node < 0 || h.Node >= nodes {
+			return fmt.Errorf("%w: link-heal node %d outside cluster of %d nodes", ErrPlanRange, h.Node, nodes)
+		}
+		if h.AtTick < 0 {
+			return fmt.Errorf("%w: link-heal node %d at negative tick %d", ErrPlanRange, h.Node, h.AtTick)
 		}
 	}
 	return nil
@@ -265,6 +324,22 @@ func (pl *ClusterPlan) RestrictNodes(survivors []int) *ClusterPlan {
 			out.Corruptions = append(out.Corruptions, c)
 		}
 	}
+	// Heals follow the same renumber-or-drop rule. Note that the supervisor
+	// deliberately keys heals by ORIGINAL node id against the base plan (a
+	// heal's whole point is to target a node that has left the membership),
+	// so it never reads them through a restricted copy.
+	for _, h := range pl.Heals {
+		if nn, ok := newNode[h.Node]; ok {
+			h.Node = nn
+			out.Heals = append(out.Heals, h)
+		}
+	}
+	for _, h := range pl.LinkHeals {
+		if nn, ok := newNode[h.Node]; ok {
+			h.Node = nn
+			out.LinkHeals = append(out.LinkHeals, h)
+		}
+	}
 	return out
 }
 
@@ -286,7 +361,8 @@ func (pl *ClusterPlan) WithoutFiredCorruptions(events []ClusterEvent) *ClusterPl
 		return pl
 	}
 	out := &ClusterPlan{Name: pl.Name, Seed: pl.Seed, Shape: pl.Shape,
-		Crashes: pl.Crashes, LinkDegrades: pl.LinkDegrades, Stragglers: pl.Stragglers}
+		Crashes: pl.Crashes, LinkDegrades: pl.LinkDegrades, Stragglers: pl.Stragglers,
+		Heals: pl.Heals, LinkHeals: pl.LinkHeals}
 	for _, c := range pl.Corruptions {
 		if !fired[[2]int{c.Node, c.Phase}] {
 			out.Corruptions = append(out.Corruptions, c)
@@ -401,6 +477,29 @@ func GenClusterPlan(seed uint64, shape ClusterShape, horizonTicks int64) *Cluste
 		}
 	}
 	dedupeCluster(pl)
+	return pl
+}
+
+// GenChurnPlan derives a replayable crash→heal churn scenario from a seed:
+// one node crashes inside the first half of the tick horizon and is healed
+// immediately (heal tick 0, so the first recovery point after the recompiled
+// run rejoins it). The same (seed, shape, horizonTicks) always yields the
+// same plan. Kept separate from GenClusterPlan so the existing seeded-plan
+// corpus stays byte-reproducible.
+func GenChurnPlan(seed uint64, shape ClusterShape, horizonTicks int64) *ClusterPlan {
+	pl := &ClusterPlan{Name: fmt.Sprintf("churn%d", seed), Seed: seed, Shape: shape}
+	if shape.Nodes <= 0 {
+		return pl
+	}
+	rng := splitmix64(seed)
+	rng.next() // decorrelate consecutive seeds, as GenClusterPlan does
+	victim := rng.intn(shape.Nodes)
+	at := int64(0)
+	if horizonTicks > 0 {
+		at = int64(rng.float64() * float64(horizonTicks) / 2)
+	}
+	pl.Crashes = append(pl.Crashes, NodeCrash{Node: victim, AtTick: at})
+	pl.Heals = append(pl.Heals, NodeHeal{Node: victim, AtTick: 0})
 	return pl
 }
 

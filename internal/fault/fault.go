@@ -93,7 +93,7 @@ func (pl *Plan) Validate(ranks int) error {
 	}
 	for _, s := range pl.Stragglers {
 		if s.Rank < 0 || s.Rank >= ranks {
-			return fmt.Errorf("fault: straggler rank %d outside world of %d", s.Rank, ranks)
+			return fmt.Errorf("%w: straggler rank %d outside world of %d", ErrPlanRange, s.Rank, ranks)
 		}
 		if !(s.Factor > 0) || math.IsInf(s.Factor, 0) {
 			return fmt.Errorf("fault: straggler rank %d has invalid factor %v", s.Rank, s.Factor)
@@ -101,7 +101,7 @@ func (pl *Plan) Validate(ranks int) error {
 	}
 	for _, s := range pl.Stalls {
 		if s.Rank < 0 || s.Rank >= ranks {
-			return fmt.Errorf("fault: stall rank %d outside world of %d", s.Rank, ranks)
+			return fmt.Errorf("%w: stall rank %d outside world of %d", ErrPlanRange, s.Rank, ranks)
 		}
 		if s.At < 0 || math.IsNaN(s.At) {
 			return fmt.Errorf("fault: stall rank %d at invalid time %v", s.Rank, s.At)
@@ -109,7 +109,7 @@ func (pl *Plan) Validate(ranks int) error {
 	}
 	for _, c := range pl.Corruptions {
 		if c.Rank < 0 || c.Rank >= ranks {
-			return fmt.Errorf("fault: corruption rank %d outside world of %d", c.Rank, ranks)
+			return fmt.Errorf("%w: corruption rank %d outside world of %d", ErrPlanRange, c.Rank, ranks)
 		}
 		if c.Elem < 0 {
 			return fmt.Errorf("fault: corruption rank %d has negative element %d", c.Rank, c.Elem)

@@ -18,6 +18,7 @@ type Comm struct {
 	name    string
 	ranks   []int       // global rank ids, comm rank = index
 	index   map[int]int // global rank -> comm rank
+	epoch   int         // membership epoch this comm was built under
 
 	buffers  map[string]*memmodel.Buffer
 	flagSets map[string][]*shm.Flag
@@ -32,6 +33,7 @@ func newComm(m *Machine, name string, ranks []int) *Comm {
 	c := &Comm{
 		machine:  m,
 		name:     name,
+		epoch:    m.epoch,
 		ranks:    ranks,
 		index:    make(map[int]int, len(ranks)),
 		buffers:  make(map[string]*memmodel.Buffer),
@@ -49,6 +51,19 @@ func newComm(m *Machine, name string, ranks []int) *Comm {
 
 // Name returns the communicator label.
 func (c *Comm) Name() string { return c.name }
+
+// Epoch returns the membership epoch this communicator was built under.
+func (c *Comm) Epoch() int { return c.epoch }
+
+// check panics with a typed *EpochError when the communicator predates the
+// machine's current membership epoch — its flags, segments and pipes belong
+// to a membership that no longer exists, so no traffic may cross epochs. One
+// integer compare; zero float ops, zero allocations on the healthy path.
+func (c *Comm) check() {
+	if c.epoch != c.machine.epoch {
+		panic(&EpochError{Comm: c.name, Stale: c.epoch, Current: c.machine.epoch})
+	}
+}
 
 // Size returns the number of participating ranks.
 func (c *Comm) Size() int { return len(c.ranks) }
@@ -81,6 +96,7 @@ func (c *Comm) Machine() *Machine { return c.machine }
 // on the given socket on first use. Subsequent calls must agree on size and
 // homing.
 func (c *Comm) Shared(label string, home int, elems int64) *memmodel.Buffer {
+	c.check()
 	if b, ok := c.buffers[label]; ok {
 		if b.Elems != elems || b.Home != home {
 			panic(fmt.Sprintf("mpi: shared buffer %q re-requested with different shape (%d@%d vs %d@%d)",
@@ -97,6 +113,7 @@ func (c *Comm) Shared(label string, home int, elems int64) *memmodel.Buffer {
 // permanently cache-resident — a reused transport ring (see
 // memmodel.Buffer.Pinned).
 func (c *Comm) SharedPinned(label string, home int, elems int64) *memmodel.Buffer {
+	c.check()
 	if b, ok := c.buffers[label]; ok {
 		if b.Elems != elems || b.Home != home || !b.Pinned {
 			panic(fmt.Sprintf("mpi: pinned buffer %q re-requested with different shape", label))
@@ -111,6 +128,7 @@ func (c *Comm) SharedPinned(label string, home int, elems int64) *memmodel.Buffe
 // Flags returns the flag array with the given label (one flag per comm
 // rank, flag i owned by comm rank i's core), creating it on first use.
 func (c *Comm) Flags(label string) []*shm.Flag {
+	c.check()
 	if fs, ok := c.flagSets[label]; ok {
 		return fs
 	}
@@ -127,6 +145,7 @@ func (c *Comm) Flags(label string) []*shm.Flag {
 // other ranks of the communicator via Peer — the stand-in for XPMEM-style
 // address-space exposure. Callers must barrier between Publish and Peer.
 func (c *Comm) Publish(r *Rank, label string, b *memmodel.Buffer) {
+	c.check()
 	slots, ok := c.pubs[label]
 	if !ok {
 		slots = make([]*memmodel.Buffer, c.Size())
@@ -141,6 +160,7 @@ func (c *Comm) Publish(r *Rank, label string, b *memmodel.Buffer) {
 
 // Peer returns the buffer comm rank `who` published under the label.
 func (c *Comm) Peer(label string, who int) *memmodel.Buffer {
+	c.check()
 	slots := c.pubs[label]
 	if slots == nil || slots[who] == nil {
 		panic(fmt.Sprintf("mpi: no buffer published as %q by comm rank %d", label, who))
@@ -151,6 +171,7 @@ func (c *Comm) Peer(label string, who int) *memmodel.Buffer {
 // Counter returns a pointer to a persistent per-rank counter, used by
 // collectives to keep their monotone flag epochs across invocations.
 func (c *Comm) Counter(r *Rank, key string) *int64 {
+	c.check()
 	vals, ok := c.counters[key]
 	if !ok {
 		vals = make([]int64, c.Size())
@@ -165,6 +186,7 @@ func (c *Comm) Counter(r *Rank, key string) *int64 {
 
 // Barrier returns the communicator's barrier (created on first use).
 func (c *Comm) Barrier() *shm.Barrier {
+	c.check()
 	if c.barrier == nil {
 		cores := make([]int, c.Size())
 		for i := range cores {

@@ -71,6 +71,23 @@ func (e *RunError) Diagnose() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
+// EpochError reports an operation issued through a communicator that was
+// built under an earlier membership epoch than the machine's current one —
+// after a Quarantine, Shrink or Grow its flags, segments and pipes belong to
+// a membership that no longer exists. Raised as a panic from the stale
+// communicator's resource accessors; inside Machine.Run it surfaces through
+// the usual *RunError attribution.
+type EpochError struct {
+	Comm    string // communicator label
+	Stale   int    // epoch the communicator was built under
+	Current int    // machine's current membership epoch
+}
+
+func (e *EpochError) Error() string {
+	return fmt.Sprintf("mpi: stale communicator %q: built at epoch %d, machine is at epoch %d (membership changed; re-acquire communicators from the machine)",
+		e.Comm, e.Stale, e.Current)
+}
+
 // TimeoutError reports a bounded receive that expired before the matching
 // send produced enough data, including how far the message had progressed —
 // the difference between "sender never arrived" and "sender died mid-message".

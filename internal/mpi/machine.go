@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 
 	"yhccl/internal/fault"
 	"yhccl/internal/memmodel"
@@ -33,6 +34,13 @@ type Machine struct {
 	privBufs map[int]map[string]*memmodel.Buffer
 	inject   *fault.Injector
 	rankOps  []string // op each rank last declared via SetOp, for diagnostics
+
+	// epoch is the membership epoch: 0 at creation, bumped once per
+	// membership change (Quarantine rebind, Shrink, Grow). Every communicator
+	// is stamped with the epoch it was built under; operations through a
+	// communicator from an earlier epoch panic with *EpochError. The check is
+	// a single integer compare — zero cost on the healthy path.
+	epoch int
 
 	// spareCores are reserved cores no rank is bound to, available for
 	// quarantine remaps. Consumed front-to-back by Quarantine.
@@ -147,10 +155,30 @@ func (m *Machine) initComms() {
 // rebind moves the machine onto a new rank-to-core binding: fresh cost model
 // (bandwidth shares depend on the binding) and fresh communicator resources.
 // Cache residency is deliberately dropped — a remapped process starts cold.
+// The membership epoch advances, so communicators fetched before the rebind
+// fail fast instead of silently carrying stale flags and segments.
 func (m *Machine) rebind(rankCores []int) {
 	m.RankCores = rankCores
 	m.Model = memmodel.NewShared(m.Node, rankCores, m.external)
+	m.epoch++
 	m.initComms()
+}
+
+// Epoch returns the machine's current membership epoch: 0 at creation,
+// incremented by every Quarantine, Shrink and Grow.
+func (m *Machine) Epoch() int { return m.epoch }
+
+// adoptEpoch advances a freshly constructed machine to the given epoch and
+// restamps its communicators, so that a Shrink/Grow child reports a later
+// epoch than its parent rather than resetting to zero.
+func (m *Machine) adoptEpoch(e int) {
+	m.epoch = e
+	m.world.epoch = e
+	for _, c := range m.sockets {
+		if c != nil {
+			c.epoch = e
+		}
+	}
 }
 
 // Spares returns how many spare cores remain available for Quarantine.
@@ -206,7 +234,64 @@ func (m *Machine) Shrink(exclude []int) (*Machine, []int, error) {
 	nm := NewMachineWithContention(m.Node, cores, m.external, m.Real)
 	nm.Watchdog = m.Watchdog
 	nm.spareCores = append([]int(nil), m.spareCores...)
+	nm.adoptEpoch(m.epoch + 1)
 	return nm, survivors, nil
+}
+
+// Grow is the exact dual of Shrink: it builds a new machine whose membership
+// is the current ranks plus one new rank per listed core. Existing ranks keep
+// their cores and their numbering; the added cores are sorted ascending and
+// become ranks n..n+k-1 (new ranks appended in core order), so growing back
+// the cores a Shrink removed restores the original binding bit-for-bit. The
+// returned slice maps new rank -> old rank, with -1 for the added ranks.
+// Cores listed in the spare pool are consumed from it (hot-adding a spare);
+// contention state and the watchdog carry over, and the new machine's epoch
+// is the parent's plus one. The old machine remains valid but shares no
+// state with the new one.
+func (m *Machine) Grow(cores []int) (*Machine, []int, error) {
+	if len(cores) == 0 {
+		return nil, nil, fmt.Errorf("mpi: grow: no cores to add")
+	}
+	bound := make(map[int]bool, m.Size())
+	for _, c := range m.RankCores {
+		bound[c] = true
+	}
+	added := append([]int(nil), cores...)
+	sort.Ints(added)
+	for i, c := range added {
+		switch {
+		case c < 0 || c >= m.Node.Cores():
+			return nil, nil, fmt.Errorf("mpi: grow: core %d out of range [0,%d)", c, m.Node.Cores())
+		case bound[c]:
+			return nil, nil, fmt.Errorf("mpi: grow: core %d already carries a rank", c)
+		case i > 0 && added[i-1] == c:
+			return nil, nil, fmt.Errorf("mpi: grow: core %d listed twice", c)
+		}
+	}
+	newCores := make([]int, 0, m.Size()+len(added))
+	newCores = append(newCores, m.RankCores...)
+	newCores = append(newCores, added...)
+	nm := NewMachineWithContention(m.Node, newCores, m.external, m.Real)
+	nm.Watchdog = m.Watchdog
+	grown := make(map[int]bool, len(added))
+	for _, c := range added {
+		grown[c] = true
+	}
+	for _, c := range m.spareCores {
+		if !grown[c] {
+			nm.spareCores = append(nm.spareCores, c)
+		}
+	}
+	nm.adoptEpoch(m.epoch + 1)
+	oldOf := make([]int, len(newCores))
+	for i := range oldOf {
+		if i < m.Size() {
+			oldOf[i] = i
+		} else {
+			oldOf[i] = -1
+		}
+	}
+	return nm, oldOf, nil
 }
 
 // External returns the per-socket co-tenant rank counts this machine was

@@ -47,6 +47,7 @@ func p2pKey(src, dst int) string { return fmt.Sprintf("p2p/%d->%d", src, dst) }
 // (the sender first-touches it with copy-in) and grows to the largest
 // message seen.
 func (c *Comm) channel(src, dst int, elems int64) *chanState {
+	c.check()
 	key := p2pKey(src, dst)
 	ch, ok := c.p2p[key]
 	if !ok {

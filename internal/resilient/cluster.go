@@ -13,6 +13,7 @@ package resilient
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"yhccl/internal/cluster"
 	"yhccl/internal/fault"
@@ -33,6 +34,17 @@ const (
 	// lane or straggler node and no reroute could improve it; the
 	// degradation is fully diagnosed in the report.
 	DegradedPass Outcome = "degraded-pass"
+	// RecoveredRejoin: after recompiling around a crash, a NodeHeal event
+	// fired and the healed node was rejoined at a recovery point — fresh
+	// cluster over the enlarged membership, epoch bump — and the full-size
+	// re-run completed.
+	RecoveredRejoin Outcome = "recovered-by-rejoin"
+	// DegradedPassShrunk: the job completed on the shrunken membership while
+	// a heal for an excluded node existed but was never taken — rejoin
+	// disabled by policy, or the heal tick never arrived. Honest
+	// classification: the pass is real but the cluster is still down nodes
+	// it could have recovered.
+	DegradedPassShrunk Outcome = "degraded-pass-shrunk"
 )
 
 // ClusterJob names one compiled collective to supervise.
@@ -58,6 +70,10 @@ type ClusterPolicy struct {
 	// AllowReroute enables switching the inter phase to a lane-avoiding
 	// tree when a degraded lane or straggler node fired.
 	AllowReroute bool
+	// AllowRejoin enables rejoining healed nodes (plan NodeHeal events) at
+	// the recovery point after a successful post-recompile run. Disabled,
+	// a pending heal downgrades the outcome to DegradedPassShrunk.
+	AllowRejoin bool
 	// MinNodes refuses recompiles that would leave fewer nodes than this.
 	MinNodes int
 	// Horizon arms the no-progress watchdog on every attempt (0 = off).
@@ -71,6 +87,7 @@ func DefaultClusterPolicy() ClusterPolicy {
 		MaxRetries:     2,
 		AllowRecompile: true,
 		AllowReroute:   true,
+		AllowRejoin:    true,
 		MinNodes:       2,
 	}
 }
@@ -78,10 +95,12 @@ func DefaultClusterPolicy() ClusterPolicy {
 // ClusterAttempt records one armed run.
 type ClusterAttempt struct {
 	// Action is what the supervisor did before this attempt: "initial",
-	// "retry", "recompile", or "reroute".
+	// "retry", "recompile", "reroute", "rejoin", or "link-heal".
 	Action string
-	// Nodes is the cluster size and Alg the composition of this attempt.
+	// Nodes is the cluster size, Epoch the membership epoch, and Alg the
+	// composition of this attempt.
 	Nodes int
+	Epoch int
 	Alg   cluster.Algorithm
 	// Makespan of a completed run in ticks (0 on halt).
 	Makespan sim.Tick
@@ -98,8 +117,17 @@ type ClusterReport struct {
 	Outcome  Outcome
 	Attempts []ClusterAttempt
 	// ExcludedNodes lists the ORIGINAL node ids recompiled around, in
-	// exclusion order.
+	// exclusion order (history — a later rejoin does not remove entries).
 	ExcludedNodes []int
+	// RejoinedNodes lists the ORIGINAL node ids healed back into the
+	// membership, in rejoin order.
+	RejoinedNodes []int
+	// HealedLinks lists the ORIGINAL node ids whose degraded lanes a
+	// LinkHeal restored (undoing a reroute).
+	HealedLinks []int
+	// FinalEpoch is the membership epoch of the final attempt: 0 when the
+	// membership never changed, +1 per recompile or rejoin.
+	FinalEpoch int
 	// Makespan of the final successful attempt in ticks (0 if none).
 	Makespan sim.Tick
 	// DegradedMakespan is the completed-but-slow makespan a reroute was
@@ -117,6 +145,12 @@ func (r ClusterReport) String() string {
 	s := fmt.Sprintf("%s @%s: %s after %d attempt(s)", r.Job, r.Shape, r.Outcome, len(r.Attempts))
 	if len(r.ExcludedNodes) > 0 {
 		s += fmt.Sprintf(", excluded nodes %v", r.ExcludedNodes)
+	}
+	if len(r.RejoinedNodes) > 0 {
+		s += fmt.Sprintf(", rejoined nodes %v (epoch %d)", r.RejoinedNodes, r.FinalEpoch)
+	}
+	if len(r.HealedLinks) > 0 {
+		s += fmt.Sprintf(", healed links %v", r.HealedLinks)
 	}
 	if r.FinalAlg != "" && r.FinalAlg != r.Job.Alg {
 		s += fmt.Sprintf(", rerouted to %s", r.FinalAlg)
@@ -151,13 +185,201 @@ func firedPersistent(events []fault.ClusterEvent) bool {
 	return false
 }
 
+// membership is the supervisor's elastic-membership bookkeeping: which
+// original nodes are in the current world, what the base plan has already
+// spent, and how much supervised virtual time has accumulated (the clock
+// heal ticks are measured against).
+type membership struct {
+	base     *fault.ClusterPlan
+	perNode  int
+	members  []int        // original node ids, in current cluster order
+	excluded map[int]bool // original ids currently out of the membership
+
+	consumedCrash   map[int]int      // orig id -> crash entries consumed
+	consumedCorrupt map[[2]int]bool  // (orig id, phase) corruption consumed
+	healedLinks     map[int]bool     // orig id -> LinkDegrade healed away
+	healsUsed       map[int]int      // orig id -> NodeHeal entries consumed
+	cumTicks        int64            // virtual ticks across all attempts
+}
+
+func newMembership(base *fault.ClusterPlan, nodes, perNode int) *membership {
+	st := &membership{
+		base:            base,
+		perNode:         perNode,
+		members:         make([]int, nodes),
+		excluded:        map[int]bool{},
+		consumedCrash:   map[int]int{},
+		consumedCorrupt: map[[2]int]bool{},
+		healedLinks:     map[int]bool{},
+		healsUsed:       map[int]int{},
+	}
+	for i := range st.members {
+		st.members[i] = i
+	}
+	return st
+}
+
+// plan derives the fault plan for the current membership from the base
+// plan: unconsumed faults of member nodes, renumbered to current ids.
+// Heals are supervisor-level and never enter a derived plan. Crash entries
+// are consumed individually, so a plan may schedule a second crash on a
+// node that was healed back in.
+func (st *membership) plan() *fault.ClusterPlan {
+	if st.base.Empty() {
+		return st.base
+	}
+	curID := make(map[int]int, len(st.members))
+	for i, orig := range st.members {
+		curID[orig] = i
+	}
+	out := &fault.ClusterPlan{Name: st.base.Name, Seed: st.base.Seed,
+		Shape: fault.ClusterShape{Nodes: len(st.members), PerNode: st.perNode}}
+	crashSeen := map[int]int{}
+	for _, c := range st.base.Crashes {
+		idx := crashSeen[c.Node]
+		crashSeen[c.Node]++
+		if cur, ok := curID[c.Node]; ok && idx >= st.consumedCrash[c.Node] {
+			out.Crashes = append(out.Crashes, fault.NodeCrash{Node: cur, AtTick: c.AtTick})
+		}
+	}
+	for _, d := range st.base.LinkDegrades {
+		if cur, ok := curID[d.Node]; ok && !st.healedLinks[d.Node] {
+			out.LinkDegrades = append(out.LinkDegrades, fault.LinkDegrade{Node: cur, Factor: d.Factor})
+		}
+	}
+	for _, s := range st.base.Stragglers {
+		if cur, ok := curID[s.Node]; ok {
+			out.Stragglers = append(out.Stragglers, fault.NodeStraggler{Node: cur, Factor: s.Factor})
+		}
+	}
+	for _, c := range st.base.Corruptions {
+		if cur, ok := curID[c.Node]; ok && !st.consumedCorrupt[[2]int{c.Node, c.Phase}] {
+			out.Corruptions = append(out.Corruptions, fault.PhaseCorrupt{Node: cur, Phase: c.Phase})
+		}
+	}
+	return out
+}
+
+// healTicks returns the AtTicks of the base plan's NodeHeal entries for one
+// original node, in plan order.
+func (st *membership) healTicks(orig int) []int64 {
+	var ticks []int64
+	for _, h := range st.base.Heals {
+		if h.Node == orig {
+			ticks = append(ticks, h.AtTick)
+		}
+	}
+	return ticks
+}
+
+// eligibleHeals returns the excluded original node ids whose next unused
+// NodeHeal entry has matured (AtTick <= cumTicks), sorted ascending.
+func (st *membership) eligibleHeals() []int {
+	var out []int
+	for orig := range st.excluded {
+		ticks := st.healTicks(orig)
+		used := st.healsUsed[orig]
+		if used < len(ticks) && ticks[used] <= st.cumTicks {
+			out = append(out, orig)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// hasUnusedHeal reports whether any currently excluded node still has an
+// unused NodeHeal entry — the honest-classification trigger: the plan
+// offered the node back and the supervisor finished without it.
+func (st *membership) hasUnusedHeal() bool {
+	for orig := range st.excluded {
+		if st.healsUsed[orig] < len(st.healTicks(orig)) {
+			return true
+		}
+	}
+	return false
+}
+
+// rejoin appends the healed nodes to the membership (in ascending original
+// id, the node-level image of Grow's append-in-core-order) and consumes
+// their heal entries.
+func (st *membership) rejoin(healed []int) {
+	for _, orig := range healed {
+		st.members = append(st.members, orig)
+		delete(st.excluded, orig)
+		st.healsUsed[orig]++
+	}
+}
+
+// exclude drops the dead current-id nodes from the membership, consuming
+// one crash entry each, and returns their original ids.
+func (st *membership) exclude(deadCur []int) []int {
+	dead := make(map[int]bool, len(deadCur))
+	origs := make([]int, 0, len(deadCur))
+	for _, n := range deadCur {
+		dead[n] = true
+		orig := st.members[n]
+		origs = append(origs, orig)
+		st.excluded[orig] = true
+		st.consumedCrash[orig]++
+	}
+	kept := st.members[:0]
+	for n, orig := range st.members {
+		if !dead[n] {
+			kept = append(kept, orig)
+		}
+	}
+	st.members = kept
+	return origs
+}
+
+// consumeCorruptEvents marks every phase corruption an event log shows
+// fired, keyed by original node id.
+func (st *membership) consumeCorruptEvents(events []fault.ClusterEvent) {
+	for _, ev := range events {
+		if ev.Kind == "phase-corrupt" && ev.Node >= 0 && ev.Node < len(st.members) {
+			st.consumedCorrupt[[2]int{st.members[ev.Node], ev.Phase}] = true
+		}
+	}
+}
+
+// eligibleLinkHeals returns the original ids of member nodes whose degraded
+// lane has a matured LinkHeal, sorted ascending.
+func (st *membership) eligibleLinkHeals() []int {
+	member := make(map[int]bool, len(st.members))
+	for _, orig := range st.members {
+		member[orig] = true
+	}
+	degraded := map[int]bool{}
+	for _, d := range st.base.LinkDegrades {
+		degraded[d.Node] = true
+	}
+	var out []int
+	for _, h := range st.base.LinkHeals {
+		if member[h.Node] && degraded[h.Node] && !st.healedLinks[h.Node] && h.AtTick <= st.cumTicks {
+			out = append(out, h.Node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // SuperviseCluster runs the compiled job under the plan until it completes
-// (possibly on a recompiled or rerouted schedule) or the policy is
-// exhausted. With a nil/empty plan it is pass-through: one run, no wrapper,
-// makespan bit-identical to the healthy event-engine path.
+// (possibly on a recompiled, rerouted or re-grown schedule) or the policy
+// is exhausted. With a nil/empty plan it is pass-through: one run, no
+// wrapper, makespan bit-identical to the healthy event-engine path.
+//
+// The recovery ladder: a dead node is recompiled around (survivor
+// renumbering); once a post-recompile run succeeds, any matured NodeHeal
+// rejoins its node at that recovery point — a fresh cluster over the
+// enlarged membership at a bumped epoch, re-verified by a full re-run
+// (RecoveredRejoin). A heal that exists but is never taken (policy or
+// tick) downgrades the pass to DegradedPassShrunk. A matured LinkHeal
+// undoes a winning reroute: the degrade is dropped and the original
+// algorithm recompiled and re-run instead of leaving the reroute permanent.
 func SuperviseCluster(c *cluster.Cluster, job ClusterJob, plan *fault.ClusterPlan, pol ClusterPolicy) ClusterReport {
 	shape := fault.ClusterShape{Nodes: c.Nodes, PerNode: c.PerNode}
-	rep := ClusterReport{Job: job, Shape: shape, FinalAlg: job.Alg, FinalNodes: c.Nodes}
+	rep := ClusterReport{Job: job, Shape: shape, FinalAlg: job.Alg, FinalNodes: c.Nodes,
+		FinalEpoch: c.Epoch}
 	if err := plan.Validate(shape); err != nil {
 		rep.Outcome, rep.Err = Undiagnosed, err
 		return rep
@@ -167,13 +389,8 @@ func SuperviseCluster(c *cluster.Cluster, job ClusterJob, plan *fault.ClusterPla
 	}
 
 	cur := c
-	curPlan := plan
 	alg := job.Alg
-	// origNode maps the current cluster's node ids back to original ids.
-	origNode := make([]int, c.Nodes)
-	for i := range origNode {
-		origNode[i] = i
-	}
+	st := newMembership(plan, c.Nodes, c.PerNode)
 	action := "initial"
 	retries := 0
 	rerouted := false
@@ -184,19 +401,35 @@ func SuperviseCluster(c *cluster.Cluster, job ClusterJob, plan *fault.ClusterPla
 			rep.Outcome, rep.Err = Undiagnosed, err
 			return rep
 		}
+		curPlan := st.plan()
 		run, rerr := cluster.RunArmed(prog, curPlan, pol.Horizon)
-		at := ClusterAttempt{Action: action, Nodes: cur.Nodes, Alg: alg,
-			Events: run.Events, Err: rerr}
+		at := ClusterAttempt{Action: action, Nodes: cur.Nodes, Epoch: cur.Epoch,
+			Alg: alg, Events: run.Events, Err: rerr}
 		if rerr == nil {
 			at.Makespan = run.Res.Makespan
 		}
 		rep.Attempts = append(rep.Attempts, at)
-		rep.FinalAlg, rep.FinalNodes = alg, cur.Nodes
+		rep.FinalAlg, rep.FinalNodes, rep.FinalEpoch = alg, cur.Nodes, cur.Epoch
 
 		if rerr == nil {
-			// Completed correct. If a persistent lane/node degradation fired
-			// and a lane-avoiding composition exists, try it once and keep
-			// the better schedule.
+			st.cumTicks += int64(run.Res.Makespan)
+
+			// Recovery point. Matured heals rejoin first: membership
+			// restoration outranks route tuning, and the rejoined run is
+			// re-verified by the next loop iteration.
+			if pol.AllowRejoin {
+				if healed := st.eligibleHeals(); len(healed) > 0 {
+					st.rejoin(healed)
+					rep.RejoinedNodes = append(rep.RejoinedNodes, healed...)
+					cur = cluster.New(cur.Node, len(st.members), cur.PerNode, cur.Net)
+					cur.Epoch = rep.FinalEpoch + 1
+					action = "rejoin"
+					continue
+				}
+			}
+
+			// If a persistent lane/node degradation fired and a lane-avoiding
+			// composition exists, try it once and keep the better schedule.
 			if firedPersistent(run.Events) && !rerouted && pol.AllowReroute {
 				if alt := rerouteAlg(job.Coll, alg); alt != alg {
 					rerouted = true
@@ -205,14 +438,39 @@ func SuperviseCluster(c *cluster.Cluster, job ClusterJob, plan *fault.ClusterPla
 					if err == nil {
 						altRun, altErr := cluster.RunArmed(altProg, curPlan, pol.Horizon)
 						altAt := ClusterAttempt{Action: "reroute", Nodes: cur.Nodes,
-							Alg: alt, Events: altRun.Events, Err: altErr}
+							Epoch: cur.Epoch, Alg: alt, Events: altRun.Events, Err: altErr}
 						if altErr == nil {
 							altAt.Makespan = altRun.Res.Makespan
 						}
 						rep.Attempts = append(rep.Attempts, altAt)
 						if altErr == nil && altRun.Res.Makespan < run.Res.Makespan {
-							rep.Outcome, rep.Makespan = RecoveredReroute, altRun.Res.Makespan
+							st.cumTicks += int64(altRun.Res.Makespan)
 							rep.FinalAlg = alt
+							// A matured LinkHeal undoes the reroute: drop the
+							// healed degrade and re-run the original algorithm.
+							if healedLinks := st.eligibleLinkHeals(); len(healedLinks) > 0 {
+								for _, orig := range healedLinks {
+									st.healedLinks[orig] = true
+								}
+								rep.HealedLinks = append(rep.HealedLinks, healedLinks...)
+								healProg, err := cur.Compile(job.Coll, alg, job.Elems, job.Opts)
+								if err == nil {
+									healRun, healErr := cluster.RunArmed(healProg, st.plan(), pol.Horizon)
+									healAt := ClusterAttempt{Action: "link-heal", Nodes: cur.Nodes,
+										Epoch: cur.Epoch, Alg: alg, Events: healRun.Events, Err: healErr}
+									if healErr == nil {
+										healAt.Makespan = healRun.Res.Makespan
+									}
+									rep.Attempts = append(rep.Attempts, healAt)
+									if healErr == nil {
+										st.cumTicks += int64(healRun.Res.Makespan)
+										rep.Outcome, rep.Makespan = RecoveredReroute, healRun.Res.Makespan
+										rep.FinalAlg = alg
+										return rep
+									}
+								}
+							}
+							rep.Outcome, rep.Makespan = RecoveredReroute, altRun.Res.Makespan
 							return rep
 						}
 					}
@@ -235,8 +493,17 @@ func SuperviseCluster(c *cluster.Cluster, job ClusterJob, plan *fault.ClusterPla
 				rep.Outcome = RecoveredClusterRetry
 			case "recompile":
 				rep.Outcome = RecoveredRecompile
+			case "rejoin":
+				rep.Outcome = RecoveredRejoin
 			default:
 				rep.Outcome = CleanPass
+			}
+			// Honest classification: finishing shrunk while the plan offered
+			// the node back (rejoin disabled, or the heal never matured) is
+			// not a full recovery.
+			if (action == "recompile" || action == "retry") &&
+				len(st.excluded) > 0 && st.hasUnusedHeal() {
+				rep.Outcome = DegradedPassShrunk
 			}
 			return rep
 		}
@@ -253,25 +520,14 @@ func SuperviseCluster(c *cluster.Cluster, job ClusterJob, plan *fault.ClusterPla
 				rep.Outcome, rep.Err = Unrecoverable, cerr
 				return rep
 			}
-			dead := make(map[int]bool, len(cerr.DeadNodes))
-			for _, n := range cerr.DeadNodes {
-				dead[n] = true
-				rep.ExcludedNodes = append(rep.ExcludedNodes, origNode[n])
-			}
-			survivors := make([]int, 0, cur.Nodes-len(dead))
-			newOrig := make([]int, 0, cur.Nodes-len(dead))
-			for n := 0; n < cur.Nodes; n++ {
-				if !dead[n] {
-					survivors = append(survivors, n)
-					newOrig = append(newOrig, origNode[n])
-				}
-			}
-			origNode = newOrig
+			st.cumTicks += int64(cerr.HaltTick)
+			st.consumeCorruptEvents(run.Events)
+			rep.ExcludedNodes = append(rep.ExcludedNodes, st.exclude(cerr.DeadNodes)...)
 			// Survivor renumbering at the node level: a fresh compile over
-			// N-len(dead) nodes rebuilds every ring lane and leader tree
-			// from the intra templates.
-			cur = cluster.New(cur.Node, len(survivors), cur.PerNode, cur.Net)
-			curPlan = curPlan.WithoutFiredCorruptions(run.Events).RestrictNodes(survivors)
+			// the remaining nodes rebuilds every ring lane and leader tree
+			// from the intra templates, one epoch up.
+			cur = cluster.New(cur.Node, len(st.members), cur.PerNode, cur.Net)
+			cur.Epoch = rep.FinalEpoch + 1
 			action = "recompile"
 
 		case cerr.CorruptNode >= 0:
@@ -280,7 +536,9 @@ func SuperviseCluster(c *cluster.Cluster, job ClusterJob, plan *fault.ClusterPla
 				return rep
 			}
 			retries++
-			curPlan = curPlan.WithoutFiredCorruptions(run.Events)
+			// The corrupted run completed (wrong): its full makespan burned.
+			st.cumTicks += int64(run.Res.Makespan)
+			st.consumeCorruptEvents(run.Events)
 			action = "retry"
 
 		case cerr.HorizonHit:

@@ -1,0 +1,228 @@
+package resilient
+
+import (
+	"testing"
+
+	"yhccl/internal/cluster"
+	"yhccl/internal/fault"
+)
+
+func churnPlan(node int, healTick int64) *fault.ClusterPlan {
+	return &fault.ClusterPlan{
+		Name:    "churn-test",
+		Crashes: []fault.NodeCrash{{Node: node, AtTick: 0}},
+		Heals:   []fault.NodeHeal{{Node: node, AtTick: healTick}},
+	}
+}
+
+// Crash + immediate heal: the supervisor recompiles over the survivors,
+// then rejoins the healed node at the next recovery point and re-verifies
+// on the full membership at a bumped epoch.
+func TestSuperviseClusterRejoin(t *testing.T) {
+	mk, job := testClusterJob()
+	rep := SuperviseCluster(mk(), job, churnPlan(3, 0), DefaultClusterPolicy())
+	if rep.Outcome != RecoveredRejoin {
+		t.Fatalf("outcome %s, want recovered-by-rejoin: %v", rep.Outcome, rep.Err)
+	}
+	if !rep.Outcome.Recovered() {
+		t.Fatal("recovered-by-rejoin must count as recovered")
+	}
+	if rep.FinalNodes != 8 {
+		t.Fatalf("final cluster has %d nodes, want full 8", rep.FinalNodes)
+	}
+	if len(rep.RejoinedNodes) != 1 || rep.RejoinedNodes[0] != 3 {
+		t.Fatalf("rejoined nodes %v, want [3]", rep.RejoinedNodes)
+	}
+	// Exclusion history is append-only: the rejoin does not erase it.
+	if len(rep.ExcludedNodes) != 1 || rep.ExcludedNodes[0] != 3 {
+		t.Fatalf("excluded nodes %v, want [3] (history)", rep.ExcludedNodes)
+	}
+	// Epoch ladder: initial 0, recompile 1, rejoin 2.
+	if rep.FinalEpoch != 2 {
+		t.Fatalf("final epoch %d, want 2", rep.FinalEpoch)
+	}
+	wantActions := []string{"initial", "recompile", "rejoin"}
+	if len(rep.Attempts) != len(wantActions) {
+		t.Fatalf("%d attempts, want %d: %+v", len(rep.Attempts), len(wantActions), rep.Attempts)
+	}
+	for i, a := range rep.Attempts {
+		if a.Action != wantActions[i] {
+			t.Fatalf("attempt %d action %q, want %q", i, a.Action, wantActions[i])
+		}
+		if a.Epoch != i {
+			t.Fatalf("attempt %d ran at epoch %d, want %d", i, a.Epoch, i)
+		}
+	}
+	if rep.Attempts[2].Nodes != 8 {
+		t.Fatalf("rejoin attempt ran on %d nodes, want 8", rep.Attempts[2].Nodes)
+	}
+	// The rejoined run is a full-membership healthy run: its makespan must
+	// equal the initial shape's healthy makespan exactly.
+	healthy := SuperviseCluster(mk(), job, nil, DefaultClusterPolicy())
+	if rep.Makespan != healthy.Makespan {
+		t.Fatalf("rejoined makespan %d != healthy full-membership makespan %d",
+			rep.Makespan, healthy.Makespan)
+	}
+}
+
+// With rejoin disabled the same plan ends shrunk — and because the plan
+// offered the node back, the honest outcome is degraded-pass-shrunk, not
+// recovered.
+func TestSuperviseClusterRejoinDisabled(t *testing.T) {
+	mk, job := testClusterJob()
+	pol := DefaultClusterPolicy()
+	pol.AllowRejoin = false
+	rep := SuperviseCluster(mk(), job, churnPlan(3, 0), pol)
+	if rep.Outcome != DegradedPassShrunk {
+		t.Fatalf("outcome %s, want degraded-pass-shrunk: %v", rep.Outcome, rep.Err)
+	}
+	if rep.Outcome.Recovered() {
+		t.Fatal("degraded-pass-shrunk must not count as recovered")
+	}
+	if rep.FinalNodes != 7 {
+		t.Fatalf("final cluster has %d nodes, want 7", rep.FinalNodes)
+	}
+	if len(rep.RejoinedNodes) != 0 {
+		t.Fatalf("rejoined nodes %v with rejoin disabled", rep.RejoinedNodes)
+	}
+}
+
+// A heal whose tick never matures within the supervised run is equivalent
+// to no heal being taken: shrunk finish, honestly classified.
+func TestSuperviseClusterHealNeverMatures(t *testing.T) {
+	mk, job := testClusterJob()
+	rep := SuperviseCluster(mk(), job, churnPlan(3, 1<<60), DefaultClusterPolicy())
+	if rep.Outcome != DegradedPassShrunk {
+		t.Fatalf("outcome %s, want degraded-pass-shrunk: %v", rep.Outcome, rep.Err)
+	}
+	if rep.FinalNodes != 7 {
+		t.Fatalf("final cluster has %d nodes, want 7", rep.FinalNodes)
+	}
+}
+
+// A heal-free crash plan must keep its pre-elasticity classification:
+// recovered-by-recompile, never degraded-pass-shrunk.
+func TestSuperviseClusterNoHealStaysRecompile(t *testing.T) {
+	mk, job := testClusterJob()
+	plan := &fault.ClusterPlan{Name: "plain-crash",
+		Crashes: []fault.NodeCrash{{Node: 3, AtTick: 0}}}
+	rep := SuperviseCluster(mk(), job, plan, DefaultClusterPolicy())
+	if rep.Outcome != RecoveredRecompile {
+		t.Fatalf("outcome %s, want recovered-by-recompile: %v", rep.Outcome, rep.Err)
+	}
+}
+
+// A second crash entry scheduled on the same node must fire after its
+// rejoin and be recovered: crash -> recompile -> rejoin -> crash again ->
+// recompile. The single heal entry is spent, so the final outcome is an
+// honest recompile at N-1 nodes.
+func TestSuperviseClusterSecondCrashAfterRejoin(t *testing.T) {
+	mk, job := testClusterJob()
+	plan := &fault.ClusterPlan{
+		Name: "double-crash",
+		Crashes: []fault.NodeCrash{
+			{Node: 3, AtTick: 0},
+			{Node: 3, AtTick: 1000},
+		},
+		Heals: []fault.NodeHeal{{Node: 3, AtTick: 0}},
+	}
+	rep := SuperviseCluster(mk(), job, plan, DefaultClusterPolicy())
+	if rep.Outcome != RecoveredRecompile {
+		t.Fatalf("outcome %s, want recovered-by-recompile: %v", rep.Outcome, rep.Err)
+	}
+	wantActions := []string{"initial", "recompile", "rejoin", "recompile"}
+	if len(rep.Attempts) != len(wantActions) {
+		t.Fatalf("%d attempts, want %d: %+v", len(rep.Attempts), len(wantActions), rep.Attempts)
+	}
+	for i, a := range rep.Attempts {
+		if a.Action != wantActions[i] {
+			t.Fatalf("attempt %d action %q, want %q", i, a.Action, wantActions[i])
+		}
+	}
+	// The second crash actually fired during the rejoined run.
+	if rep.Attempts[2].Err == nil {
+		t.Fatal("rejoined run did not hit the second crash")
+	}
+	if rep.FinalNodes != 7 {
+		t.Fatalf("final cluster has %d nodes, want 7", rep.FinalNodes)
+	}
+	// Both crash entries are in the exclusion history.
+	if len(rep.ExcludedNodes) != 2 || rep.ExcludedNodes[0] != 3 || rep.ExcludedNodes[1] != 3 {
+		t.Fatalf("excluded nodes %v, want [3 3]", rep.ExcludedNodes)
+	}
+	if rep.FinalEpoch != 3 {
+		t.Fatalf("final epoch %d, want 3 (initial, recompile, rejoin, recompile)", rep.FinalEpoch)
+	}
+}
+
+// A matured LinkHeal undoes a winning reroute: the degrade is dropped, the
+// original algorithm recompiled and re-run, and the report shows the
+// original algorithm as final.
+func TestSuperviseClusterLinkHealUndoesReroute(t *testing.T) {
+	mk, _ := testClusterJob()
+	job := ClusterJob{Coll: cluster.CollAllreduce, Alg: cluster.LeaderRing, Elems: 1 << 10}
+	plan := &fault.ClusterPlan{
+		Name:         "deg-heal",
+		LinkDegrades: []fault.LinkDegrade{{Node: 2, Factor: 12}},
+		LinkHeals:    []fault.LinkHeal{{Node: 2, AtTick: 0}},
+	}
+	rep := SuperviseCluster(mk(), job, plan, DefaultClusterPolicy())
+	if rep.Outcome != RecoveredReroute {
+		t.Fatalf("outcome %s, want recovered-by-reroute: %v", rep.Outcome, rep.Err)
+	}
+	if rep.FinalAlg != cluster.LeaderRing {
+		t.Fatalf("final alg %s, want leader-ring restored after link heal", rep.FinalAlg)
+	}
+	if len(rep.HealedLinks) != 1 || rep.HealedLinks[0] != 2 {
+		t.Fatalf("healed links %v, want [2]", rep.HealedLinks)
+	}
+	last := rep.Attempts[len(rep.Attempts)-1]
+	if last.Action != "link-heal" {
+		t.Fatalf("last attempt action %q, want link-heal", last.Action)
+	}
+	// The healed run is a healthy LeaderRing run: makespan matches the
+	// unfaulted schedule exactly.
+	healthy := SuperviseCluster(mk(), job, nil, DefaultClusterPolicy())
+	if rep.Makespan != healthy.Makespan {
+		t.Fatalf("healed makespan %d != healthy %d", rep.Makespan, healthy.Makespan)
+	}
+	if rep.Makespan >= rep.DegradedMakespan {
+		t.Fatalf("healed run no better than degraded: %d vs %d", rep.Makespan, rep.DegradedMakespan)
+	}
+}
+
+// Without a LinkHeal the reroute stays permanent — the pre-elasticity
+// behaviour.
+func TestSuperviseClusterRerouteStaysWithoutHeal(t *testing.T) {
+	mk, _ := testClusterJob()
+	job := ClusterJob{Coll: cluster.CollAllreduce, Alg: cluster.LeaderRing, Elems: 1 << 10}
+	plan := &fault.ClusterPlan{
+		Name:         "deg-only",
+		LinkDegrades: []fault.LinkDegrade{{Node: 2, Factor: 12}},
+	}
+	rep := SuperviseCluster(mk(), job, plan, DefaultClusterPolicy())
+	if rep.Outcome != RecoveredReroute {
+		t.Fatalf("outcome %s, want recovered-by-reroute: %v", rep.Outcome, rep.Err)
+	}
+	if rep.FinalAlg != cluster.LeaderTree {
+		t.Fatalf("final alg %s, want leader-tree (reroute permanent)", rep.FinalAlg)
+	}
+	if len(rep.HealedLinks) != 0 {
+		t.Fatalf("healed links %v without a heal entry", rep.HealedLinks)
+	}
+}
+
+// Churn supervision is deterministic: the same generated plan yields
+// byte-identical reports.
+func TestSuperviseClusterChurnDeterministic(t *testing.T) {
+	mk, job := testClusterJob()
+	plan := fault.GenChurnPlan(11, fault.ClusterShape{Nodes: 8, PerNode: 8}, 200_000)
+	a := SuperviseCluster(mk(), job, plan, DefaultClusterPolicy())
+	b := SuperviseCluster(mk(), job, plan, DefaultClusterPolicy())
+	if a.String() != b.String() {
+		t.Fatalf("churn supervision diverged:\n%s\n%s", a.String(), b.String())
+	}
+	if a.Outcome != RecoveredRejoin {
+		t.Fatalf("churn plan outcome %s, want recovered-by-rejoin: %v", a.Outcome, a.Err)
+	}
+}

@@ -64,7 +64,8 @@ const (
 func (o Outcome) Recovered() bool {
 	switch o {
 	case RecoveredRetry, RecoveredRemap, RecoveredShrink, RecoveredFallback,
-		RecoveredRecompile, RecoveredReroute, RecoveredClusterRetry:
+		RecoveredRecompile, RecoveredReroute, RecoveredClusterRetry,
+		RecoveredRejoin:
 		return true
 	}
 	return false
@@ -127,6 +128,12 @@ type Attempt struct {
 	Ranks int
 	// Makespan of a successful run (0 on failure).
 	Makespan float64
+	// Elapsed is the virtual time this attempt consumed whether or not it
+	// succeeded: the makespan on success AND on validation failure (the
+	// wrong run still completed), and the furthest rank clock on a run
+	// failure. Deadline accounting charges Elapsed, not Makespan — failed
+	// attempts burn real time.
+	Elapsed float64
 	// Err is the run or validation error (nil on success).
 	Err error
 	// Faults are the injector events that fired during this attempt.
@@ -229,10 +236,20 @@ func Supervise(m *mpi.Machine, job Job, pol Policy) Report {
 		switch {
 		case runErr != nil:
 			at.Err = runErr
+			var re *mpi.RunError
+			if errors.As(runErr, &re) {
+				for _, rs := range re.Ranks {
+					if rs.Clock > at.Elapsed {
+						at.Elapsed = rs.Clock
+					}
+				}
+			}
 		case verr != nil:
 			at.Err = verr
+			at.Elapsed = makespan
 		default:
 			at.Makespan = makespan
+			at.Elapsed = makespan
 		}
 		rep.Attempts = append(rep.Attempts, at)
 		rep.Depth, rep.Final = depth, m

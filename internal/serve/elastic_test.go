@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"yhccl/internal/topo"
+)
+
+// With no capacity events, RunWithEvents is Run: identical results and a
+// byte-identical event log.
+func TestRunWithEventsNoEventsIdentical(t *testing.T) {
+	node := topo.NodeA()
+	cfg := StreamConfig{Seed: 5, Mix: testMix(), Jobs: 80, Rate: 400}
+	arrivals, err := GenStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(withEvents bool) string {
+		s := NewScheduler(node, PlaceAuto)
+		s.SetServiceOracle(slowOracle)
+		if withEvents {
+			if _, err := s.RunWithEvents(arrivals, nil); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := s.Run(arrivals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return strings.Join(s.EventLog(), "\n")
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("event-free RunWithEvents diverged from Run:\n%s\n---\n%s", a, b)
+	}
+}
+
+// Shrinking cores out from under a running job never kills it: the lease
+// runs to completion, then the cores retire instead of rejoining the pool.
+func TestCapacityShrinkDrainsLeases(t *testing.T) {
+	node := topo.NodeA()
+	spec := testMix()[2] // osu-micro: pack placement, lands on cores 0,1
+	arrivals := []Arrival{{At: 0, Spec: spec}}
+	// Remove the job's own cores (0,1) mid-service plus two free ones.
+	events := []CapacityEvent{{At: 1e-3, Remove: []int{0, 1, 62, 63}}}
+	s := NewScheduler(node, PlaceAuto)
+	s.SetServiceOracle(slowOracle)
+	results, err := s.RunWithEvents(arrivals, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Shed {
+		t.Fatalf("leased job did not complete: %+v", results)
+	}
+	want := slowOracle(spec, nil, nil)
+	if got := results[0].Makespan(); got != want {
+		t.Fatalf("drained job makespan %.9f, want undisturbed %.9f", got, want)
+	}
+	if got := s.Capacity(); got != node.Cores()-4 {
+		t.Fatalf("capacity after drain %d, want %d", got, node.Cores()-4)
+	}
+	if s.Epochs() != 1 {
+		t.Fatalf("epochs %d, want 1", s.Epochs())
+	}
+	log := strings.Join(s.EventLog(), "\n")
+	if !strings.Contains(log, "retire job=0 cores=[0 1]") {
+		t.Fatalf("no retire record for the drained lease:\n%s", log)
+	}
+	if !strings.Contains(log, "capacity epoch=1") {
+		t.Fatalf("no capacity epoch record:\n%s", log)
+	}
+}
+
+// A queued job that can never fit the shrunken machine is shed with the
+// reason on record — it must not block the FIFO head forever.
+func TestCapacityShedsUnfittableJobs(t *testing.T) {
+	node := topo.NodeC() // 24 cores
+	big := testMix()[0]
+	big.Ranks = 20
+	hog := testMix()[0]
+	hog.Ranks = 24
+	arrivals := []Arrival{
+		{At: 0, Spec: hog},    // holds the whole machine
+		{At: 1e-4, Spec: big}, // queues behind it
+		{At: 3e-3, Spec: big}, // arrives after the shrink: shed at submit
+	}
+	// Shrink 8 cores while the hog runs: capacity 16 < 20.
+	events := []CapacityEvent{{At: 2e-3, Remove: []int{16, 17, 18, 19, 20, 21, 22, 23}}}
+	s := NewScheduler(node, PlaceAuto)
+	s.SetServiceOracle(slowOracle)
+	results, err := s.RunWithEvents(arrivals, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := 0
+	for _, r := range results {
+		if r.Shed {
+			shed++
+		}
+	}
+	if shed != 2 {
+		t.Fatalf("%d jobs shed, want 2 (queued + arriving): %+v", shed, results)
+	}
+	log := strings.Join(s.EventLog(), "\n")
+	if strings.Count(log, "reason=capacity") != 2 {
+		t.Fatalf("capacity sheds not on record:\n%s", log)
+	}
+}
+
+// A grow event re-solves admission immediately: a job waiting for cores a
+// shrink took away is admitted at exactly the grow tick.
+func TestCapacityGrowReadmits(t *testing.T) {
+	node := topo.NodeC()
+	// 12 ranks fits the shrunken capacity (16), so the job waits queued
+	// through the shrink window instead of being shed; only the grow frees
+	// enough cores to admit it. The shrink applies at t=0, before the
+	// blocker's arrival (events precede arrivals at ties), so free cores
+	// stay below 12 until the grow.
+	spec := testMix()[0]
+	spec.Ranks = 12
+	events := []CapacityEvent{
+		{At: 0, Remove: []int{16, 17, 18, 19, 20, 21, 22, 23}},
+		{At: 0.05, Add: []int{16, 17, 18, 19, 20, 21, 22, 23}},
+	}
+	// The blocker holds 8 of the 16 online cores until t=0.16.
+	blocker := testMix()[0]
+	blocker.Ranks = 8
+	arrivals := []Arrival{
+		{At: 0, Spec: blocker},
+		{At: 1e-4, Spec: spec},
+	}
+	s := NewScheduler(node, PlaceAuto)
+	s.SetServiceOracle(slowOracle)
+	results, err := s.RunWithEvents(arrivals, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigRes *JobResult
+	for i := range results {
+		if results[i].Ranks == 12 {
+			bigRes = &results[i]
+		}
+	}
+	if bigRes == nil || bigRes.Shed {
+		t.Fatalf("12-rank job lost: %+v", results)
+	}
+	if bigRes.Admit != 0.05 {
+		t.Fatalf("12-rank job admitted at %.9f, want exactly the grow tick 0.05", bigRes.Admit)
+	}
+	if s.Epochs() != 2 {
+		t.Fatalf("epochs %d, want 2", s.Epochs())
+	}
+}
+
+// Cancelling a drain (grow names a draining core) keeps the lease and
+// returns the core to the pool at completion as if nothing happened.
+func TestCapacityDrainCancelled(t *testing.T) {
+	node := topo.NodeA()
+	spec := testMix()[0]
+	spec.Ranks = 2
+	arrivals := []Arrival{{At: 0, Spec: spec}}
+	events := []CapacityEvent{
+		{At: 1e-3, Remove: []int{0, 1}},
+		{At: 2e-3, Add: []int{0, 1}},
+	}
+	s := NewScheduler(node, PlaceAuto)
+	s.SetServiceOracle(slowOracle)
+	if _, err := s.RunWithEvents(arrivals, events); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Capacity(); got != node.Cores() {
+		t.Fatalf("capacity %d after drain-cancel, want full %d", got, node.Cores())
+	}
+	if log := strings.Join(s.EventLog(), "\n"); strings.Contains(log, "retire") {
+		t.Fatalf("cancelled drain still retired cores:\n%s", log)
+	}
+}
+
+// The churned schedule is deterministic: two cold gate runs produce
+// byte-identical output.
+func TestChurnDeterministic(t *testing.T) {
+	node := topo.NodeA()
+	cfg := StreamConfig{Seed: 21, Mix: testMix(), Jobs: 150, Rate: 600, QueueBudget: 8}
+	arrivals, err := GenStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := arrivals[len(arrivals)-1].At
+	var events []CapacityEvent
+	for i := 0; i < 4; i++ {
+		base := span * float64(i) / 4
+		events = append(events,
+			CapacityEvent{At: base + 0.1*span/4, Remove: []int{60, 61, 62, 63}},
+			CapacityEvent{At: base + 0.6*span/4, Add: []int{60, 61, 62, 63}})
+	}
+	run := func() string {
+		s := NewScheduler(node, PlaceAuto)
+		s.SetServiceOracle(slowOracle)
+		s.SetQueueBudget(cfg.QueueBudget)
+		if _, err := s.RunWithEvents(arrivals, events); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(s.EventLog(), "\n")
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("churned schedule diverged across cold runs:\n%s\n---\n%s", a, b)
+	}
+}
+
+// The sim-backed churn gate at the contract point (1.2x saturating, 8
+// cycles) passes: zero UNDIAGNOSED, zero admitted-deadline misses, two
+// epochs per cycle. Small stream — the full-size point runs in make
+// chaos-churn.
+func TestChurnGateSim(t *testing.T) {
+	var buf bytes.Buffer
+	err := ChurnGate(&buf, topo.NodeA(), ChurnConfig{Seed: 7, Jobs: 200, Cycles: 8, LoadMult: 1.2})
+	if err != nil {
+		t.Fatalf("churn gate failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "serve churn gate: PASS") {
+		t.Fatalf("no PASS line:\n%s", buf.String())
+	}
+}
+
+// Fault-seeded tenants charge failed supervisor attempts at the virtual
+// time they actually burned, so retries can push a job past its deadline
+// — and the result must say so.
+func TestFaultRetriesChargeDeadline(t *testing.T) {
+	node := topo.NodeA()
+	healthy := JobSpec{
+		Name: "h", Collective: "allreduce", Alg: "yhccl",
+		MsgBytes: 64 << 10, Calls: 2, Ranks: 4, Weight: 1,
+	}
+	s := NewScheduler(node, PlaceAuto)
+	hres, err := s.Run([]Arrival{{At: 0, Spec: healthy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := hres[0].Makespan()
+
+	// Find a seed whose plan actually costs supervisor attempts.
+	seeded := healthy
+	seeded.Name = "f"
+	var faulty float64
+	for seed := uint64(1); seed < 64; seed++ {
+		seeded.FaultSeed = seed
+		s2 := NewScheduler(node, PlaceAuto)
+		fres, err := s2.Run([]Arrival{{At: 0, Spec: seeded}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fres[0].Makespan() > solo*1.2 {
+			faulty = fres[0].Makespan()
+			break
+		}
+	}
+	if faulty == 0 {
+		t.Fatal("no seed in [1,64) produced measurable retry cost")
+	}
+	// A deadline between the healthy and the faulted service time: the
+	// healthy twin meets it, the retrying tenant misses it — because the
+	// failed attempts charged their real elapsed time.
+	deadline := (solo + faulty) / 2
+	seeded.Deadline = deadline
+	s3 := NewScheduler(node, PlaceAuto)
+	fres, err := s3.Run([]Arrival{{At: 0, Spec: seeded}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fres[0].DeadlineMiss() {
+		t.Fatalf("retrying tenant (makespan %.9f) did not miss deadline %.9f", fres[0].Makespan(), deadline)
+	}
+	healthy.Deadline = deadline
+	s4 := NewScheduler(node, PlaceAuto)
+	hres2, err := s4.Run([]Arrival{{At: 0, Spec: healthy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres2[0].DeadlineMiss() {
+		t.Fatalf("healthy twin (makespan %.9f) missed deadline %.9f", hres2[0].Makespan(), deadline)
+	}
+}

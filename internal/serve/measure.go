@@ -203,9 +203,10 @@ func healthyBody(spec JobSpec, p int) (func(*mpi.Rank), error) {
 // call runs under the resilient supervisor (real data, the seed's
 // GenPlan), and the remaining Calls-1 are charged at the healthy
 // per-call time — the fault fires once, recovery happens once. Failed
-// attempts (which burned simulated time before being diagnosed) are
-// charged one healthy call each. Returns the total service time and the
-// supervisor's outcome.
+// attempts charge the virtual time they actually burned before being
+// diagnosed (Attempt.Elapsed) — not a flat healthy call — so deadline
+// accounting sees the true cost of every retry. Returns the total service
+// time and the supervisor's outcome.
 func (ms *measurer) faultService(spec JobSpec, perSocket, ext []int) (float64, resilient.Outcome) {
 	healthySpec := spec
 	healthySpec.FaultSeed = 0
@@ -239,9 +240,14 @@ func (ms *measurer) faultService(spec JobSpec, perSocket, ext []int) (float64, r
 
 	total := 0.0
 	for _, a := range rep.Attempts {
-		if a.Makespan > 0 {
+		switch {
+		case a.Makespan > 0:
 			total += a.Makespan
-		} else {
+		case a.Elapsed > 0:
+			total += a.Elapsed
+		default:
+			// Diagnosed before any rank advanced (e.g. bind failure):
+			// charge one healthy call as the floor.
 			total += perCall
 		}
 	}

@@ -32,6 +32,16 @@ type Scheduler struct {
 	// deterministically at submission (reject-newest: queued jobs keep
 	// their FIFO position, the newcomer is turned away).
 	queueBudget int
+
+	// Elastic capacity (RunWithEvents). offline holds cores currently out
+	// of service; draining holds leased cores due offline when their lease
+	// ends — admitted jobs are never killed, the lease runs to completion
+	// and the core retires instead of returning to the pool. epoch counts
+	// capacity changes applied. All empty/zero on the plain Run path, which
+	// stays byte-identical.
+	offline  map[int]bool
+	draining map[int]bool
+	epoch    int
 }
 
 // job is one admitted or queued request.
@@ -90,6 +100,8 @@ func NewScheduler(node *topo.Node, placement Placement) *Scheduler {
 		node:     node,
 		override: placement,
 		ms:       newMeasurer(node),
+		offline:  map[int]bool{},
+		draining: map[int]bool{},
 	}
 	s.freeBySocket = make([][]int, node.Sockets)
 	for sk := 0; sk < node.Sockets; sk++ {
@@ -119,6 +131,15 @@ func (s *Scheduler) Clock() float64 { return s.clock }
 // Run executes an arrival stream to completion and returns the per-job
 // results in completion order. Arrivals must be sorted by time.
 func (s *Scheduler) Run(arrivals []Arrival) ([]JobResult, error) {
+	return s.RunWithEvents(arrivals, nil)
+}
+
+// RunWithEvents executes an arrival stream under a planned sequence of
+// capacity changes. Tie order is completions, then capacity events, then
+// arrivals: a leaving tenant frees cores a capacity change may retire and
+// an arriving job may need. With no events the schedule — and the event
+// log — is byte-identical to Run.
+func (s *Scheduler) RunWithEvents(arrivals []Arrival, events []CapacityEvent) ([]JobResult, error) {
 	for i, a := range arrivals {
 		if err := a.Spec.Validate(); err != nil {
 			return nil, err
@@ -131,21 +152,39 @@ func (s *Scheduler) Run(arrivals []Arrival) ([]JobResult, error) {
 			return nil, fmt.Errorf("serve: arrivals not sorted at index %d", i)
 		}
 	}
-	ai := 0
+	for i, ev := range events {
+		if err := ev.validate(s.node); err != nil {
+			return nil, err
+		}
+		if i > 0 && ev.At < events[i-1].At {
+			return nil, fmt.Errorf("serve: capacity events not sorted at index %d", i)
+		}
+	}
+	ai, ei := 0, 0
 	for ai < len(arrivals) || len(s.running) > 0 || len(s.queue) > 0 {
 		tc, cj := s.nextCompletion()
-		ta := math.Inf(1)
+		ta, te := math.Inf(1), math.Inf(1)
 		if ai < len(arrivals) {
 			ta = arrivals[ai].At
 		}
+		if ei < len(events) {
+			te = events[ei].At
+		}
 		switch {
-		case cj != nil && tc <= ta:
+		case cj != nil && tc <= ta && tc <= te:
 			// Completions before arrivals at ties: a leaving tenant frees
 			// cores the arriving one may need.
 			s.advanceTo(tc)
 			s.complete(cj)
 			s.admitFromQueue()
 			s.recomputeRates()
+		case ei < len(events) && te <= ta:
+			// A pending grow event can be the only thing that unblocks a
+			// queued job on a shrunken machine, so events are part of the
+			// main loop, not a side channel.
+			s.advanceTo(te)
+			s.applyCapacity(events[ei])
+			ei++
 		case ai < len(arrivals):
 			s.advanceTo(ta)
 			s.submit(arrivals[ai], ai)
@@ -154,8 +193,9 @@ func (s *Scheduler) Run(arrivals []Arrival) ([]JobResult, error) {
 				s.recomputeRates()
 			}
 		default:
-			// Nothing running, nothing arriving, but jobs queued: cannot
-			// happen — validated jobs always fit an empty machine.
+			// Nothing running, nothing arriving, no capacity pending, but
+			// jobs queued: cannot happen — a job that can never fit the
+			// current capacity is shed, not queued.
 			return nil, fmt.Errorf("serve: scheduler stuck with %d queued jobs", len(s.queue))
 		}
 	}
@@ -197,6 +237,17 @@ func (s *Scheduler) nextCompletion() (float64, *job) {
 func (s *Scheduler) submit(a Arrival, idx int) {
 	j := &job{id: idx, spec: a.Spec, arrive: a.At}
 	s.logf("t=%.9f arrive job=%d class=%s ranks=%d", s.clock, j.id, j.spec.Name, j.spec.Ranks)
+	if (len(s.offline) > 0 || len(s.draining) > 0) && j.spec.Ranks > s.Capacity() {
+		// The shrunken machine can never hold this job: shed at submission
+		// rather than blocking the FIFO queue forever.
+		s.logf("t=%.9f shed job=%d class=%s reason=capacity ranks=%d online=%d",
+			s.clock, j.id, j.spec.Name, j.spec.Ranks, s.Capacity())
+		s.results = append(s.results, JobResult{
+			ID: j.id, Class: j.spec.Name, Ranks: j.spec.Ranks,
+			Arrive: j.arrive, Shed: true, Deadline: j.spec.Deadline,
+		})
+		return
+	}
 	if s.queueBudget > 0 && len(s.queue) >= s.queueBudget {
 		s.logf("t=%.9f shed job=%d class=%s queued=%d budget=%d",
 			s.clock, j.id, j.spec.Name, len(s.queue), s.queueBudget)
@@ -241,12 +292,24 @@ func (s *Scheduler) complete(j *job) {
 			break
 		}
 	}
+	var retired []int
 	for _, c := range j.cores {
+		if len(s.draining) > 0 && s.draining[c] {
+			// The lease ran to completion; the core retires instead of
+			// returning to the pool.
+			delete(s.draining, c)
+			s.offline[c] = true
+			retired = append(retired, c)
+			continue
+		}
 		sk := s.node.SocketOf(c)
 		s.freeBySocket[sk] = append(s.freeBySocket[sk], c)
 	}
 	for sk := range s.freeBySocket {
 		sort.Ints(s.freeBySocket[sk])
+	}
+	if len(retired) > 0 {
+		s.logf("t=%.9f retire job=%d cores=%v online=%d", s.clock, j.id, retired, s.Capacity())
 	}
 	res := JobResult{
 		ID: j.id, Class: j.spec.Name, Ranks: j.spec.Ranks,
